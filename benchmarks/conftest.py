@@ -1,0 +1,19 @@
+"""Shared session-scoped harness so the table/figure benchmarks reuse
+compilations and simulations where possible."""
+
+import pytest
+
+from repro.experiments.runner import Harness
+
+
+@pytest.fixture(scope="session")
+def harness():
+    return Harness(seed=1)
+
+
+def one_shot(benchmark, fn, *args, **kwargs):
+    """Run a whole-artifact generator exactly once under timing (these
+    are multi-second simulations; statistical repetition would be
+    wasteful and is unnecessary for cycle-exact simulators)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              iterations=1, rounds=1)

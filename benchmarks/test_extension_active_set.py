@@ -1,0 +1,47 @@
+"""Extension experiment: how large must the hardware active set be?
+
+The paper provides hardware to sequence "a small number of active
+threads" but leaves thread management out of scope.  This bench sweeps
+the active-set bound on the threaded benchmarks: a node with slots for
+about as many threads as it has clusters captures nearly all of the
+coupling benefit.
+"""
+
+from conftest import one_shot
+
+from repro import compile_program, run_program
+from repro.machine import baseline
+from repro.programs import get_benchmark
+
+LIMITS = (2, 3, 5, 9, None)
+
+
+def sweep(bench_name):
+    bench = get_benchmark(bench_name)
+    inputs = bench.make_inputs(seed=1)
+    compiled = compile_program(bench.source("coupled"), baseline(),
+                               mode="coupled")
+    rows = {}
+    for limit in LIMITS:
+        config = baseline().with_max_active_threads(limit)
+        result = run_program(compiled.program, config, overrides=inputs)
+        assert not bench.check(result, inputs)
+        rows[limit] = result.cycles
+    return rows
+
+
+def test_active_set_sweep(benchmark):
+    def run_all():
+        return {name: sweep(name) for name in ("matrix", "model")}
+    data = one_shot(benchmark, run_all)
+    print()
+    for name, rows in data.items():
+        print("%s coupled, active-set sweep:" % name)
+        for limit in LIMITS:
+            label = "unbounded" if limit is None else "%2d slots" % limit
+            print("  %-10s %6d cycles" % (label, rows[limit]))
+    for rows in data.values():
+        # More slots never hurt, and ~2x the cluster count captures
+        # nearly everything.
+        assert rows[2] >= rows[5] >= rows[None]
+        assert rows[9] <= 1.05 * rows[None]

@@ -1,0 +1,27 @@
+"""Regenerates Figure 5: function unit utilization by class for every
+benchmark and mode."""
+
+from conftest import one_shot
+
+from repro.experiments import figure5
+
+
+def test_figure5(benchmark, harness):
+    rows = one_shot(benchmark, figure5.run, harness)
+    print()
+    print(figure5.render(rows))
+    by_key = {(r["benchmark"], r["mode"]): r for r in rows}
+    # Utilization rises toward the threaded/ideal modes (paper: "in all
+    # benchmarks, unit utilization increases as the simulation mode
+    # approaches Ideal").
+    for bench in ("matrix", "fft", "model", "lud"):
+        seq = by_key[(bench, "seq")]
+        coupled = by_key[(bench, "coupled")]
+        assert coupled["fpu"] + coupled["iu"] > seq["fpu"] + seq["iu"]
+    # Model and LUD are memory dominated: FPU/IU stay small even
+    # coupled (paper's words).
+    for bench in ("model", "lud"):
+        assert by_key[(bench, "coupled")]["fpu"] < 1.5
+    # Matrix ideal: loop overhead gone, so IU and branch work vanish.
+    ideal = by_key[("matrix", "ideal")]
+    assert ideal["iu"] < 0.5 and ideal["bru"] < 0.5

@@ -1,0 +1,20 @@
+"""Regenerates Figure 6: Coupled-mode cycles under the five restricted
+communication schemes, plus the interconnect area trade-off."""
+
+from conftest import one_shot
+
+from repro.experiments import figure6
+
+
+def test_figure6(benchmark, harness):
+    data = one_shot(benchmark, figure6.run, harness)
+    print()
+    print(figure6.render(data))
+    # Paper: Tri-port is nearly as effective as full connection (~4%),
+    # while single-port/shared-bus schemes increase cycles dramatically.
+    assert abs(figure6.overhead_vs_full(data, "tri-port")) < 0.10
+    assert figure6.overhead_vs_full(data, "dual-port") < 0.25
+    assert figure6.overhead_vs_full(data, "single-port") > 0.30
+    assert figure6.overhead_vs_full(data, "shared-bus") > 0.30
+    # ... at a fraction of the interconnect area.
+    assert data["areas"]["tri-port"] < 0.6

@@ -1,0 +1,27 @@
+"""Regenerates Figure 7: cycle counts under the Min/Mem1/Mem2 memory
+models — statically scheduled modes suffer most from long latencies."""
+
+from conftest import one_shot
+
+from repro.experiments import figure7
+
+
+def test_figure7(benchmark, harness):
+    cells = one_shot(benchmark, figure7.run, harness)
+    print()
+    print(figure7.render(cells))
+    # Latency hurts everyone...
+    for (bench, mode, model), cycles in cells.items():
+        if model == "mem2":
+            assert cycles >= cells[(bench, mode, "min")]
+    # ...but the threaded modes hide it better than STS (paper: 5.5x
+    # for STS vs ~2x for Coupled and ~2.3x for TPE).
+    sts = figure7.slowdown(cells, "sts")
+    assert sts > figure7.slowdown(cells, "coupled") + 0.5
+    assert sts > figure7.slowdown(cells, "tpe") + 0.5
+    # Ideal Matrix lives in registers: nearly immune.  Ideal FFT must
+    # reload between stages: hammered.
+    assert cells[("matrix", "ideal", "mem2")] < \
+        2.0 * cells[("matrix", "ideal", "min")]
+    assert cells[("fft", "ideal", "mem2")] > \
+        2.0 * cells[("fft", "ideal", "min")]

@@ -1,0 +1,27 @@
+"""Regenerates Figure 8: Coupled cycles across all 1..4 IU x 1..4 FPU
+configurations with four memory units."""
+
+from conftest import one_shot
+
+from repro.experiments import figure8
+
+
+def test_figure8(benchmark, harness):
+    cells = one_shot(benchmark, figure8.run, harness)
+    print()
+    print(figure8.render(cells))
+    benches = sorted({k[0] for k in cells})
+    for bench in benches:
+        # Cycle count is highest with one IU and one FPU and minimized
+        # at four of each (paper's findings).
+        worst = cells[(bench, 1, 1)]
+        best = cells[(bench, 4, 4)]
+        assert best <= worst
+        assert best == min(cells[(bench, i, f)]
+                           for i in (1, 2, 3, 4) for f in (1, 2, 3, 4))
+    # Matrix: one FPU saturates a single IU — adding FPUs to a 1-IU
+    # machine does not help...
+    assert cells[("matrix", 1, 4)] >= 0.95 * cells[("matrix", 1, 1)]
+    # ...while adding IUs does (integer units used for synchronization
+    # and loop control can be a bottleneck).
+    assert cells[("matrix", 4, 1)] < cells[("matrix", 1, 1)]

@@ -1,0 +1,38 @@
+"""Regenerates Table 2 and Figure 4: baseline cycle counts and FPU/IU
+utilization for the five machine modes on the four benchmarks, and
+asserts the paper's qualitative shape."""
+
+from conftest import one_shot
+
+from repro.experiments import table2
+
+
+def _rows(harness):
+    return table2.run(harness)
+
+
+def _cycles(rows, bench, mode):
+    return next(r["cycles"] for r in rows
+                if r["benchmark"] == bench and r["mode"] == mode)
+
+
+def test_table2(benchmark, harness):
+    rows = one_shot(benchmark, _rows, harness)
+    print()
+    print(table2.render(rows))
+    print()
+    print(table2.render_figure4(rows))
+    # Paper shape: SEQ slowest, Coupled beats STS, Ideal fastest.
+    for bench in ("matrix", "fft", "model", "lud"):
+        assert _cycles(rows, bench, "seq") > _cycles(rows, bench, "sts")
+        assert _cycles(rows, bench, "coupled") < \
+            _cycles(rows, bench, "sts")
+    for bench in ("matrix", "fft"):
+        assert _cycles(rows, bench, "ideal") == min(
+            r["cycles"] for r in rows if r["benchmark"] == bench)
+    # FFT: the sequential section makes TPE lose to STS (paper Table 2).
+    assert _cycles(rows, "fft", "tpe") > _cycles(rows, "fft", "sts")
+    # Matrix ideal: nearly every FP slot filled (paper: 3.93 of 4).
+    ideal = next(r for r in rows if r["benchmark"] == "matrix"
+                 and r["mode"] == "ideal")
+    assert ideal["fpu_util"] > 3.5

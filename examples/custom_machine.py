@@ -1,0 +1,67 @@
+"""Build a custom processor-coupled node and run your own kernel on it.
+
+The machine: two asymmetric arithmetic clusters (one with two integer
+units, one with a deeply pipelined FPU), a tri-port interconnect, and a
+lossy memory system.  The workload: a dot product threaded across both
+clusters with a tree reduction through synchronizing memory.
+
+Run:  python examples/custom_machine.py
+"""
+
+from repro import compile_program, run_program
+from repro.machine import (ClusterSpec, MachineConfig, branch_cluster,
+                           fpu, iu, mem)
+from repro.machine.memory import MemorySpec
+
+SOURCE = """
+(program
+  (const N 32)
+  (const NW 2)
+  (global x N)
+  (global y N)
+  (global partial NW :empty)
+  (global out 1)
+  (kernel dot (t)
+    (let ((acc 0.0) (i t))
+      (while (< i N)
+        (set! acc (+ acc (* (aref x i) (aref y i))))
+        (set! i (+ i NW)))
+      (aset-ef! partial t acc)))
+  (main
+    (fork (dot 0))
+    (fork (dot 1))
+    (aset! out 0 (+ (aref-ff partial 0) (aref-ff partial 1)))))
+"""
+
+
+def build_machine():
+    clusters = (
+        ClusterSpec(units=(iu(), iu(), fpu(), mem())),
+        ClusterSpec(units=(iu(), fpu(latency=3), mem())),
+        branch_cluster(),
+    )
+    memory = MemorySpec("lossy", miss_rate=0.05, miss_penalty_min=10,
+                        miss_penalty_max=40)
+    return MachineConfig(clusters, interconnect="tri-port",
+                         memory=memory, name="custom-2x")
+
+
+def main():
+    config = build_machine()
+    print(config.describe())
+    compiled = compile_program(SOURCE, config, mode="coupled")
+    xs = [0.25 * i for i in range(32)]
+    ys = [1.0 / (1 + i) for i in range(32)]
+    result = run_program(compiled.program, config,
+                         overrides={"x": xs, "y": ys})
+    expected = sum(a * b for a, b in zip(xs, ys))
+    got = result.read_symbol("out")[0]
+    print("dot product: %.10f (expected %.10f)" % (got, expected))
+    print("cycles: %d, memory misses: %d, writeback conflicts: %d"
+          % (result.cycles, result.stats.memory_misses,
+             result.stats.writeback_conflicts))
+    assert abs(got - expected) < 1e-9
+
+
+if __name__ == "__main__":
+    main()

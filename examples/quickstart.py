@@ -1,0 +1,51 @@
+"""Quickstart: compile a tiny program for the baseline processor-coupled
+node, inspect the generated wide instruction words, and simulate it.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import baseline, compile_program, run_program
+from repro.isa import asmtext
+
+SOURCE = """
+(program
+  (const N 8)
+  (global x N)
+  (global y N)
+  (global out N)
+  (main
+    ;; out[i] = 2*x[i] + y[i], with the loop hand-unrolled by two so
+    ;; the wide machine can overlap independent iterations.
+    (for (i 0 N 2)
+      (unroll (u 0 2)
+        (aset! out (+ i u)
+               (+ (* 2.0 (aref x (+ i u))) (aref y (+ i u))))))))
+"""
+
+
+def main():
+    config = baseline()
+    print(config.describe())
+    print()
+
+    compiled = compile_program(SOURCE, config, mode="sts")
+    report = compiled.main_report
+    print("compiled: %d instruction words, %d operations, peak "
+          "registers per cluster %s"
+          % (report.words, report.operations,
+             compiled.peak_registers()))
+    print()
+    print(asmtext.emit(compiled.program))
+
+    inputs = {
+        "x": [float(i) for i in range(8)],
+        "y": [10.0 * i for i in range(8)],
+    }
+    result = run_program(compiled.program, config, overrides=inputs)
+    print("cycles:", result.cycles)
+    print("out:   ", result.read_symbol("out"))
+    print("stats: ", result.stats)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,181 @@
+"""A SPICE-style timestep on the coupled node.
+
+The paper motivates its benchmarks as "building blocks for larger
+numerical applications: the compute intensive portions of a circuit
+simulator such as SPICE include a model evaluator and sparse matrix
+solver."  This example composes exactly those blocks into one threaded
+program: each Newton-ish iteration evaluates all nonlinear devices
+concurrently (the Model kernel), assembles a right-hand side, solves
+the linearized mesh system by the banded LU forward/backward sweeps,
+and relaxes the node voltages.
+
+Run:  python examples/spice_step.py
+"""
+
+import random
+
+from repro import baseline, compile_program, run_program
+
+MESH = 4                 # 16 internal nodes on a 4x4 grid
+N = MESH * MESH
+BAND = MESH
+NDEV = 8
+STEPS = 3
+RELAX = 0.6
+
+SOURCE = """
+(program
+  (const N {n})
+  (const B {band})
+  (const NDEV {ndev})
+  (const STEPS {steps})
+  (global G (* N N))          ; mesh conductance matrix (LU factored once)
+  (global rhs N)
+  (global v N)
+  (global gate NDEV :int)
+  (global drain NDEV :int)
+  (global kp NDEV)
+  (global vt NDEV)
+  (global idev NDEV)
+  (global done NDEV :int :empty)
+
+  ;; --- model evaluation: one thread per device per step -------------
+  (kernel dev (d)
+    (let ((vg (aref v (aref gate d)))
+          (K (aref kp d))
+          (VT (aref vt d)))
+      (let ((vov (- vg VT)))
+        (aset! idev d (if (<= vov 0.0)
+                          0.0
+                          (* (* 0.5 K) (* vov vov))))))
+    (aset-ef! done d 1))
+
+  ;; --- banded LU factorization of G (done once, in place) -----------
+  (kernel factor ()
+    (for (k 0 (- N 1))
+      (let ((pivot (aref G (+ (* k N) k)))
+            (lim (min (+ (+ k B) 1) N)))
+        (for (i (+ k 1) lim)
+          (let ((aik (aref G (+ (* i N) k))))
+            (if (!= aik 0.0)
+              (let ((l (/ aik pivot)))
+                (aset! G (+ (* i N) k) l)
+                (for (j (+ k 1) lim)
+                  (aset! G (+ (* i N) j)
+                         (- (aref G (+ (* i N) j))
+                            (* l (aref G (+ (* k N) j)))))))))))))
+
+  ;; --- solve G x = rhs using the stored LU factors, in place --------
+  (kernel solve ()
+    (for (i 1 N)
+      (let ((lo (max (- i B) 0)) (acc (aref rhs i)))
+        (for (k lo i)
+          (set! acc (- acc (* (aref G (+ (* i N) k)) (aref rhs k)))))
+        (aset! rhs i acc)))
+    (for (ii 0 N)
+      (let ((i (- (- N 1) ii)))
+        (let ((hi (min (+ (+ i B) 1) N)) (acc (aref rhs i)))
+          (for (k (+ i 1) hi)
+            (set! acc (- acc (* (aref G (+ (* i N) k)) (aref rhs k)))))
+          (aset! rhs i (/ acc (aref G (+ (* i N) i))))))))
+
+  (main
+    (call factor)
+    (for (step 0 STEPS)
+      ;; evaluate all devices concurrently
+      (forall (d 0 NDEV) (dev d))
+      (for (d 0 NDEV)
+        (sync (aref-fe done d)))
+      ;; assemble rhs: device currents injected at their drain nodes
+      (for (i 0 N)
+        (aset! rhs i 0.0))
+      (for (d 0 NDEV)
+        (aset! rhs (aref drain d)
+               (+ (aref rhs (aref drain d)) (aref idev d))))
+      ;; solve the linear system and relax the voltages
+      (call solve)
+      (for (i 0 N)
+        (aset! v i (+ (* {relax} (aref rhs i))
+                      (* {unrelax} (aref v i))))))))
+""".format(n=N, band=BAND, ndev=NDEV, steps=STEPS, relax=RELAX,
+           unrelax=1.0 - RELAX)
+
+
+def make_inputs(seed=4):
+    rng = random.Random(seed)
+    g = [0.0] * (N * N)
+    for r in range(MESH):
+        for c in range(MESH):
+            me = r * MESH + c
+            for dr, dc in ((0, 1), (0, -1), (1, 0), (-1, 0)):
+                nr, nc = r + dr, c + dc
+                if 0 <= nr < MESH and 0 <= nc < MESH:
+                    g[me * N + (nr * MESH + nc)] = -1.0
+            g[me * N + me] = 4.5 + rng.uniform(0.0, 0.5)
+    return {
+        "G": g,
+        "v": [rng.uniform(0.5, 2.0) for __ in range(N)],
+        "gate": [rng.randrange(N) for __ in range(NDEV)],
+        "drain": [rng.randrange(N) for __ in range(NDEV)],
+        "kp": [rng.uniform(0.5, 2.0) for __ in range(NDEV)],
+        "vt": [rng.uniform(0.2, 0.8) for __ in range(NDEV)],
+    }
+
+
+def reference(inputs):
+    """Plain-Python replication of the timestep loop."""
+    g = list(inputs["G"])
+    v = list(inputs["v"])
+    for k in range(N - 1):
+        pivot = g[k * N + k]
+        lim = min(k + BAND + 1, N)
+        for i in range(k + 1, lim):
+            aik = g[i * N + k]
+            if aik != 0.0:
+                l = aik / pivot
+                g[i * N + k] = l
+                for j in range(k + 1, lim):
+                    g[i * N + j] = g[i * N + j] - l * g[k * N + j]
+    for __ in range(STEPS):
+        idev = []
+        for d in range(NDEV):
+            vov = v[inputs["gate"][d]] - inputs["vt"][d]
+            idev.append(0.0 if vov <= 0.0
+                        else (0.5 * inputs["kp"][d]) * (vov * vov))
+        rhs = [0.0] * N
+        for d in range(NDEV):
+            rhs[inputs["drain"][d]] += idev[d]
+        for i in range(1, N):
+            acc = rhs[i]
+            for k in range(max(i - BAND, 0), i):
+                acc -= g[i * N + k] * rhs[k]
+            rhs[i] = acc
+        for i in range(N - 1, -1, -1):
+            acc = rhs[i]
+            for k in range(i + 1, min(i + BAND + 1, N)):
+                acc -= g[i * N + k] * rhs[k]
+            rhs[i] = acc / g[i * N + i]
+        for i in range(N):
+            v[i] = RELAX * rhs[i] + (1.0 - RELAX) * v[i]
+    return v
+
+
+def main():
+    config = baseline()
+    inputs = make_inputs()
+    expected = reference(inputs)
+    for mode in ("tpe", "coupled"):
+        compiled = compile_program(SOURCE, config, mode=mode)
+        result = run_program(compiled.program, config, overrides=inputs)
+        got = result.read_symbol("v")
+        worst = max(abs(a - b) for a, b in zip(got, expected))
+        assert worst < 1e-9, worst
+        print("%-8s %6d cycles   (max |err| = %.2e)"
+              % (mode, result.cycles, worst))
+    print("\nThree simulator timesteps — concurrent device evaluation "
+          "feeding a banded\nLU solve — verified against a Python "
+          "reference.")
+
+
+if __name__ == "__main__":
+    main()

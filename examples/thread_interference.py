@@ -1,0 +1,28 @@
+"""Thread interference (the paper's Table 3).
+
+Four Coupled-mode threads drain a shared priority queue of identical
+circuit devices.  Strict-priority arbitration means every thread's
+runtime schedule dilates relative to the compile-time schedule — mildly
+for the top-priority thread, badly for the lowest — yet the aggregate
+still beats the single statically scheduled thread, because the
+evaluations overlap.
+
+Run:  python examples/thread_interference.py
+"""
+
+from repro.experiments import table3
+
+
+def main():
+    data = table3.run()
+    print(table3.render(data))
+    print()
+    agg = data["aggregate"]
+    speedup = agg["sts_total"] / agg["coupled_total"]
+    print("Four interfering coupled threads finish the queue %.2fx "
+          "faster than one\nstatically scheduled thread, even though "
+          "every individual evaluation got slower." % speedup)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim so editable installs work without the wheel
+package (offline environments)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,173 @@
+"""Top-level command line interface.
+
+::
+
+    python -m repro compile prog.sexp --mode coupled -o prog.s
+    python -m repro run prog.sexp --mode coupled --set A=1,2,3,4
+    python -m repro run prog.s --asm --trace --window 60
+    python -m repro modes            # list machine modes
+    python -m repro describe         # show the baseline machine
+
+Programs are the mini-language (``.sexp``) or assembly (``--asm``).
+"""
+
+import argparse
+import sys
+
+from . import compile_program, run_program
+from .compiler.schedule.modes import MODES
+from .isa import asmtext
+from .machine import MEMORY_MODELS, baseline
+from .machine.interconnect import CommScheme
+from .sim import Node
+from .sim.trace import TraceRecorder, render_timeline
+
+
+def _build_config(args):
+    config = baseline()
+    if getattr(args, "interconnect", None):
+        config = config.with_interconnect(args.interconnect)
+    if getattr(args, "memory", None):
+        config = config.with_memory(MEMORY_MODELS[args.memory]())
+    if getattr(args, "seed", None) is not None:
+        config = config.with_seed(args.seed)
+    return config
+
+
+def _parse_overrides(pairs):
+    overrides = {}
+    for pair in pairs or ():
+        name, __, values = pair.partition("=")
+        if not values:
+            raise SystemExit("--set expects NAME=v1,v2,...")
+        parsed = []
+        for item in values.split(","):
+            try:
+                parsed.append(int(item))
+            except ValueError:
+                parsed.append(float(item))
+        overrides[name] = parsed
+    return overrides
+
+
+def _load_program(args, config):
+    text = open(args.program).read() if args.program != "-" \
+        else sys.stdin.read()
+    if args.asm:
+        return asmtext.parse(text), None
+    compiled = compile_program(text, config, mode=args.mode)
+    return compiled.program, compiled
+
+
+def cmd_compile(args, out):
+    config = _build_config(args)
+    program, compiled = _load_program(args, config)
+    text = asmtext.emit(program)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        out.write("wrote %s (%d threads, %d operations)\n"
+                  % (args.output, len(program.threads),
+                     program.static_operation_count()))
+    else:
+        out.write(text)
+    if compiled is not None and args.report:
+        for name, report in sorted(compiled.reports.items()):
+            out.write("; thread %-12s words=%-4d ops=%-4d moves=%-3d "
+                      "peak-regs=%s\n"
+                      % (name, report.words, report.operations,
+                         report.moves, report.peak_registers))
+    return 0
+
+
+def cmd_run(args, out):
+    config = _build_config(args)
+    program, __ = _load_program(args, config)
+    overrides = _parse_overrides(args.set)
+    recorder = TraceRecorder() if args.trace else None
+    node = Node(config, observer=recorder)
+    result = node.run(program, overrides=overrides,
+                      max_cycles=args.max_cycles)
+    out.write("cycles: %d\n" % result.cycles)
+    out.write("stats:  %s\n" % result.stats)
+    for symbol in (args.print or sorted(program.data.symbols)):
+        values = result.read_symbol(symbol)
+        preview = values if len(values) <= 16 else values[:16] + ["..."]
+        out.write("%s = %s\n" % (symbol, preview))
+    if recorder is not None:
+        out.write("\n")
+        out.write(render_timeline(recorder, config, last=args.window))
+        out.write("\n")
+    return 0
+
+
+def cmd_modes(args, out):
+    for mode in MODES:
+        out.write("%s\n" % mode)
+    return 0
+
+
+def cmd_describe(args, out):
+    out.write(_build_config(args).describe() + "\n")
+    return 0
+
+
+def _add_program_options(parser):
+    parser.add_argument("program", help="source file, or '-' for stdin")
+    parser.add_argument("--mode", choices=MODES, default="coupled")
+    parser.add_argument("--asm", action="store_true",
+                        help="input is assembly, not mini-language")
+    parser.add_argument("--interconnect",
+                        choices=[s.value for s in CommScheme])
+    parser.add_argument("--memory", choices=sorted(MEMORY_MODELS))
+    parser.add_argument("--seed", type=int)
+
+
+def main(argv=None, out=None):
+    out = out or sys.stdout
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Processor coupling: compile and simulate programs "
+                    "for a multi-cluster node.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compile_parser = sub.add_parser("compile",
+                                    help="compile to wide-word assembly")
+    _add_program_options(compile_parser)
+    compile_parser.add_argument("-o", "--output")
+    compile_parser.add_argument("--report", action="store_true",
+                                help="append per-thread statistics")
+    compile_parser.set_defaults(func=cmd_compile)
+
+    run_parser = sub.add_parser("run", help="compile (or load) and "
+                                            "simulate")
+    _add_program_options(run_parser)
+    run_parser.add_argument("--set", action="append", metavar="SYM=v,..",
+                            help="initialize a memory symbol")
+    run_parser.add_argument("--print", action="append", metavar="SYM",
+                            help="symbols to dump (default: all)")
+    run_parser.add_argument("--trace", action="store_true",
+                            help="show a unit-occupancy timeline")
+    run_parser.add_argument("--window", type=int, default=64,
+                            help="timeline window in cycles")
+    run_parser.add_argument("--max-cycles", type=int, default=5_000_000)
+    run_parser.set_defaults(func=cmd_run)
+
+    modes_parser = sub.add_parser("modes", help="list machine modes")
+    modes_parser.set_defaults(func=cmd_modes)
+
+    describe_parser = sub.add_parser("describe",
+                                     help="show the machine")
+    describe_parser.add_argument("--interconnect",
+                                 choices=[s.value for s in CommScheme])
+    describe_parser.add_argument("--memory",
+                                 choices=sorted(MEMORY_MODELS))
+    describe_parser.add_argument("--seed", type=int)
+    describe_parser.set_defaults(func=cmd_describe)
+
+    args = parser.parse_args(argv)
+    return args.func(args, out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,18 @@
+"""The statically scheduling compiler (paper Section 3).
+
+Source language: simplified C semantics with Lisp syntax; explicit
+``fork``/``forall`` threading; hand unrolling via ``unroll``; procedures
+macro-expanded via ``call``.  Scheduling is per-basic-block critical-path
+list scheduling for a configured machine; no trace scheduling or
+software pipelining, exactly as in the paper.
+"""
+
+from .astnodes import ProgramAST
+from .driver import CompiledProgram, compile_program, iter_forks
+from .frontend import parse_program
+from .interp import InterpResult, interpret
+from .schedule.modes import MODES
+
+__all__ = ["ProgramAST", "CompiledProgram", "compile_program",
+           "iter_forks", "parse_program", "InterpResult", "interpret",
+           "MODES"]

@@ -1,0 +1,217 @@
+"""Intermediate representation: virtual registers, basic blocks, CFGs.
+
+The IR sits between lowering and the scheduler.  Operations use the ISA
+opcode names directly so the scheduler/codegen need no translation
+table, with three representational differences:
+
+* memory operations carry the accessed symbol name and an index operand
+  (the symbol's base address becomes an immediate at code generation,
+  and the memory unit performs the addition);
+* branch targets name basic blocks rather than instruction indices;
+* fork carries the callee kernel name and argument operands (bindings
+  to the callee's parameter registers are resolved at code generation).
+
+Mutable source variables get a *home* virtual register that every
+assignment writes, giving each variable one fixed physical location per
+thread — the paper's "live variables are kept in registers across basic
+block boundaries".  Temporaries are single-assignment and block-local.
+"""
+
+from dataclasses import dataclass, field
+
+from ..errors import CompileError
+from ..isa.operations import UnitClass, opcode
+from .astnodes import FLOAT, INT
+
+
+@dataclass(frozen=True)
+class VReg:
+    """A virtual register (infinite supply, typed)."""
+
+    id: int
+    type: str
+    name: str = ""
+    is_home: bool = False
+
+    def __str__(self):
+        tag = self.name or "v"
+        return "%%%s%d:%s" % (tag if self.is_home else "t", self.id,
+                              self.type)
+
+    def __hash__(self):
+        return hash(self.id)
+
+    def __eq__(self, other):
+        return isinstance(other, VReg) and other.id == self.id
+
+
+@dataclass(frozen=True)
+class Const:
+    """A compile-time constant operand (becomes an immediate)."""
+
+    value: object
+
+    @property
+    def type(self):
+        return FLOAT if isinstance(self.value, float) else INT
+
+    def __str__(self):
+        return "#%r" % (self.value,)
+
+
+def is_vreg(operand):
+    return isinstance(operand, VReg)
+
+
+@dataclass
+class IRInstr:
+    """One IR operation."""
+
+    op: str
+    dest: object = None          # VReg or None
+    srcs: list = field(default_factory=list)
+    sym: str = None              # memory ops: accessed symbol
+    target: str = None           # branches: block name; fork: thread name
+    fork_args: list = None
+    fork_cluster: int = None
+
+    @property
+    def spec(self):
+        return opcode(self.op)
+
+    @property
+    def is_memory(self):
+        return self.spec.is_memory
+
+    @property
+    def is_pure(self):
+        """True when the instruction has no side effects beyond its
+        destination register (safe to CSE/DCE)."""
+        spec = self.spec
+        return (not spec.is_memory and spec.unit is not UnitClass.BRU
+                and spec.semantics is not None)
+
+    @property
+    def is_sync_memory(self):
+        """Synchronizing accesses act as full memory barriers."""
+        spec = self.spec
+        return spec.is_memory and (spec.precondition != "unconditional"
+                                   or spec.postcondition == "set-empty")
+
+    def source_vregs(self):
+        regs = [s for s in self.srcs if is_vreg(s)]
+        if self.fork_args:
+            regs.extend(a for a in self.fork_args if is_vreg(a))
+        return regs
+
+    def __str__(self):
+        parts = [self.op]
+        if self.dest is not None:
+            parts.append(str(self.dest) + " <-")
+        parts.extend(str(s) for s in self.srcs)
+        if self.sym:
+            parts.append("@" + self.sym)
+        if self.target:
+            parts.append("->" + self.target)
+        if self.fork_args is not None:
+            parts.append("(" + ", ".join(str(a) for a in self.fork_args)
+                         + ")")
+        return " ".join(parts)
+
+
+class BasicBlock:
+    """A straight-line run of IR instructions plus a terminator.
+
+    ``terminator`` is None (fall through to the next block in layout
+    order), or an IRInstr with op in {br, brt, brf, halt}.  ``brt``/
+    ``brf`` fall through when not taken.
+    """
+
+    def __init__(self, name):
+        self.name = name
+        self.instrs = []
+        self.terminator = None
+
+    def emit(self, instr):
+        self.instrs.append(instr)
+        return instr
+
+    def successors(self, next_block_name):
+        """Names of possible successor blocks."""
+        term = self.terminator
+        if term is None:
+            return [next_block_name] if next_block_name else []
+        if term.op == "halt":
+            return []
+        if term.op == "br":
+            return [term.target]
+        succs = [term.target]
+        if next_block_name:
+            succs.append(next_block_name)
+        return succs
+
+    def all_instrs(self):
+        if self.terminator is not None:
+            return self.instrs + [self.terminator]
+        return list(self.instrs)
+
+    def __str__(self):
+        lines = ["%s:" % self.name]
+        lines.extend("  " + str(i) for i in self.all_instrs())
+        return "\n".join(lines)
+
+
+class ThreadIR:
+    """The IR of one thread: an ordered list of basic blocks."""
+
+    def __init__(self, name, params=None):
+        self.name = name
+        self.params = list(params or [])   # [(source name, VReg)]
+        self.blocks = []
+        self._vreg_counter = 0
+        self.homes = {}                    # source var name -> VReg
+
+    def new_vreg(self, vtype, name="", is_home=False):
+        self._vreg_counter += 1
+        return VReg(self._vreg_counter, vtype, name, is_home)
+
+    def new_block(self, hint="b"):
+        block = BasicBlock("%s%d" % (hint, len(self.blocks)))
+        self.blocks.append(block)
+        return block
+
+    def block_index(self):
+        return {block.name: i for i, block in enumerate(self.blocks)}
+
+    def next_block_name(self, position):
+        if position + 1 < len(self.blocks):
+            return self.blocks[position + 1].name
+        return None
+
+    def cfg_successors(self):
+        """name -> [successor names] for the whole thread."""
+        succs = {}
+        for i, block in enumerate(self.blocks):
+            succs[block.name] = block.successors(self.next_block_name(i))
+        return succs
+
+    def validate(self):
+        names = set()
+        for block in self.blocks:
+            if block.name in names:
+                raise CompileError("duplicate block %r" % block.name)
+            names.add(block.name)
+        last = self.blocks[-1] if self.blocks else None
+        if last is None or last.terminator is None \
+                or last.terminator.op != "halt":
+            raise CompileError("thread %r must end in halt" % self.name)
+        for block in self.blocks:
+            for instr in block.all_instrs():
+                if instr.spec.is_branch and instr.target not in names:
+                    raise CompileError("branch to unknown block %r"
+                                       % instr.target)
+
+    def __str__(self):
+        header = "thread %s(%s)" % (
+            self.name, ", ".join("%s=%s" % (n, v) for n, v in self.params))
+        return header + "\n" + "\n".join(str(b) for b in self.blocks)

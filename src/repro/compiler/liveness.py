@@ -1,0 +1,50 @@
+"""Liveness analysis for home virtual registers.
+
+Temporaries are single-assignment and block-local by construction, so
+only home registers (mutable source variables and if-expression join
+values) flow across basic blocks.  Standard iterative backward dataflow
+over the CFG computes live-in/live-out sets of home vreg ids, used by
+dead-code elimination and by the scheduler's block-entry value maps.
+"""
+
+
+def block_use_def(block):
+    """(use, def) home-vreg-id sets for one block.
+
+    ``use`` holds homes read before any (re)definition in the block.
+    """
+    use = set()
+    defs = set()
+    for instr in block.all_instrs():
+        for vreg in instr.source_vregs():
+            if vreg.is_home and vreg.id not in defs:
+                use.add(vreg.id)
+        dest = instr.dest
+        if dest is not None and dest.is_home:
+            defs.add(dest.id)
+    return use, defs
+
+
+def analyze(thread_ir):
+    """Return (live_in, live_out): block name -> set of home vreg ids."""
+    succs = thread_ir.cfg_successors()
+    use = {}
+    defs = {}
+    for block in thread_ir.blocks:
+        use[block.name], defs[block.name] = block_use_def(block)
+    live_in = {block.name: set() for block in thread_ir.blocks}
+    live_out = {block.name: set() for block in thread_ir.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(thread_ir.blocks):
+            name = block.name
+            out = set()
+            for succ in succs[name]:
+                out |= live_in[succ]
+            new_in = use[name] | (out - defs[name])
+            if out != live_out[name] or new_in != live_in[name]:
+                live_out[name] = out
+                live_in[name] = new_in
+                changed = True
+    return live_in, live_out

@@ -1,0 +1,10 @@
+"""Compiler optimizations (paper Section 3): constant propagation,
+common subexpression elimination, static evaluation of constant
+expressions, and dead code elimination."""
+
+from .lvn import local_value_numbering
+from .dce import eliminate_dead_code
+from .pipeline import optimize_thread
+
+__all__ = ["local_value_numbering", "eliminate_dead_code",
+           "optimize_thread"]

@@ -1,0 +1,38 @@
+"""Dead code elimination.
+
+Backward scan per block seeded with the globally live-out home
+registers: pure instructions whose destination is never read afterwards
+are removed.  Memory, branch, and fork operations always stay.
+"""
+
+from .. import liveness
+
+
+def _eliminate_block(block, live_out_homes):
+    live = set(live_out_homes)
+    kept_reversed = []
+    removed = 0
+    if block.terminator is not None:
+        for vreg in block.terminator.source_vregs():
+            live.add(vreg.id)
+    for instr in reversed(block.instrs):
+        dest = instr.dest
+        if instr.is_pure and dest is not None and dest.id not in live:
+            removed += 1
+            continue
+        kept_reversed.append(instr)
+        if dest is not None:
+            live.discard(dest.id)
+        for vreg in instr.source_vregs():
+            live.add(vreg.id)
+    block.instrs = list(reversed(kept_reversed))
+    return removed
+
+
+def eliminate_dead_code(thread_ir):
+    """Remove dead pure instructions; returns removed count."""
+    __, live_out = liveness.analyze(thread_ir)
+    removed = 0
+    for block in thread_ir.blocks:
+        removed += _eliminate_block(block, live_out[block.name])
+    return removed

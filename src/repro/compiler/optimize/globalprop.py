@@ -1,0 +1,67 @@
+"""Global constant propagation for single-definition home registers.
+
+A mutable variable that is assigned exactly once in the whole thread,
+with a constant, is simply a named constant: every use is replaced by
+the immediate and the defining move is deleted (DCE would also delete
+it, but doing it here keeps the pass self-contained).  This matters for
+loop bounds — without it, a ``for`` limit lives in a register whose
+cluster may differ from the induction variable's, costing a cross-
+cluster move in every loop header.
+
+Thread parameters are excluded: they are defined invisibly at spawn.
+Copies of other single-def constants converge over a few iterations.
+"""
+
+from ..ir import Const, is_vreg
+
+_MAX_ROUNDS = 4
+
+
+def _collect_defs(thread_ir):
+    defs = {}           # home vreg id -> [instr]
+    for block in thread_ir.blocks:
+        for instr in block.all_instrs():
+            dest = instr.dest
+            if dest is not None and dest.is_home:
+                defs.setdefault(dest.id, []).append(instr)
+    return defs
+
+
+def propagate_global_constants(thread_ir):
+    """Rewrite the thread in place; returns the number of homes folded."""
+    param_ids = {vreg.id for __, vreg in thread_ir.params}
+    folded_total = 0
+    for __ in range(_MAX_ROUNDS):
+        defs = _collect_defs(thread_ir)
+        constants = {}
+        for home_id, instrs in defs.items():
+            if home_id in param_ids or len(instrs) != 1:
+                continue
+            instr = instrs[0]
+            if instr.op in ("imov", "fmov") and len(instr.srcs) == 1 \
+                    and isinstance(instr.srcs[0], Const) \
+                    and instr.srcs[0].type == instr.dest.type:
+                constants[home_id] = instr.srcs[0]
+        if not constants:
+            break
+        folded_total += len(constants)
+        for block in thread_ir.blocks:
+            kept = []
+            for instr in block.instrs:
+                dest = instr.dest
+                if dest is not None and dest.id in constants:
+                    continue
+                _substitute(instr, constants)
+                kept.append(instr)
+            block.instrs = kept
+            if block.terminator is not None:
+                _substitute(block.terminator, constants)
+    return folded_total
+
+
+def _substitute(instr, constants):
+    instr.srcs = [constants.get(s.id, s) if is_vreg(s) else s
+                  for s in instr.srcs]
+    if instr.fork_args:
+        instr.fork_args = [constants.get(a.id, a) if is_vreg(a) else a
+                           for a in instr.fork_args]

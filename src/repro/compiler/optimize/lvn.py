@@ -1,0 +1,267 @@
+"""Local value numbering.
+
+One block-local pass that performs the paper compiler's scalar
+optimizations together: constant propagation, copy propagation, static
+evaluation (folding) of expressions with constant operands, a few safe
+algebraic identities, and common subexpression elimination.  Value
+handles carry (vreg, version) pairs so redefinitions of home registers
+invalidate stale table entries.
+
+Folding uses the ISA opcode semantics, so compile-time and run-time
+arithmetic always agree (including C-style truncating integer
+division).
+"""
+
+from ..ir import Const, IRInstr, is_vreg
+
+
+class _Numbering:
+    """Bookkeeping for one basic block."""
+
+    def __init__(self):
+        self.version = {}          # vreg id -> int
+        self.const_of = {}         # (vreg id, version) -> Const
+        self.copy_of = {}          # (vreg id, version) -> (vreg, version)
+        self.expr_table = {}       # key -> (vreg, version)
+        self.load_table = {}       # key -> (vreg, version)
+        self.store_epoch = {}      # symbol -> int
+        self.barrier_epoch = 0
+
+    def current(self, vreg):
+        return self.version.get(vreg.id, 0)
+
+    def bump(self, vreg):
+        self.version[vreg.id] = self.current(vreg) + 1
+
+    def handle(self, operand):
+        """Resolve an operand to a canonical value handle: a Const or a
+        (vreg, version) pair with copies chased."""
+        if isinstance(operand, Const):
+            return operand
+        key = (operand.id, self.current(operand))
+        seen = set()
+        while key in self.copy_of and key not in seen:
+            seen.add(key)
+            target_vreg, target_version = self.copy_of[key]
+            if self.current(target_vreg) != target_version:
+                break
+            operand = target_vreg
+            key = (target_vreg.id, target_version)
+        const = self.const_of.get(key)
+        if const is not None:
+            return const
+        return (operand, key[1])
+
+    def operand_for(self, handle, fallback):
+        if isinstance(handle, Const):
+            return handle
+        vreg, version = handle
+        if self.current(vreg) == version:
+            return vreg
+        return fallback
+
+
+_ZERO_IDENTITY = {"iadd", "isub", "ior", "ixor", "ishl", "ishr"}
+_ONE_IDENTITY = {"imul", "idiv"}
+
+
+def _algebraic(instr, handles):
+    """Return a replacement (op, srcs) for trivial identities, or None.
+
+    Only exact (integer) identities are applied; float arithmetic is
+    left untouched so compiled results match the reference interpreter
+    bit for bit.
+    """
+    if len(handles) != 2:
+        return None
+    left, right = handles
+    right_const = right.value if isinstance(right, Const) else None
+    left_const = left.value if isinstance(left, Const) else None
+    if instr.op in _ZERO_IDENTITY and right_const == 0:
+        return ("imov", [instr.srcs[0]])
+    if instr.op in _ONE_IDENTITY and right_const == 1:
+        return ("imov", [instr.srcs[0]])
+    if instr.op == "imul" and (right_const == 0 or left_const == 0):
+        return ("imov", [Const(0)])
+    if instr.op == "iadd" and left_const == 0:
+        return ("imov", [instr.srcs[1]])
+    if instr.op == "imul" and left_const == 1:
+        return ("imov", [instr.srcs[1]])
+    return None
+
+
+def _normalize(handle):
+    if isinstance(handle, Const):
+        return ("c", handle.value, handle.type)
+    vreg, version = handle
+    return ("v", vreg.id, version)
+
+
+def _expr_key(instr, handles):
+    parts = [_normalize(h) for h in handles]
+    if instr.spec.commutative:
+        parts.sort()
+    return (instr.op, tuple(parts))
+
+
+def _fold(instr, handles):
+    """Evaluate a pure instruction whose operands are all constants."""
+    values = [h.value for h in handles]
+    try:
+        return Const(instr.spec.semantics(*values))
+    except (ArithmeticError, ValueError):
+        return None   # leave runtime-faulting expressions alone
+
+
+def local_value_numbering(block, load_elimination=True):
+    """Rewrite one block in place; returns the number of changes."""
+    numbering = _Numbering()
+    changes = 0
+    new_instrs = []
+    for instr in block.all_instrs():
+        is_terminator = instr is block.terminator
+        handles = []
+        new_srcs = []
+        for operand in instr.srcs:
+            if is_vreg(operand):
+                handle = numbering.handle(operand)
+                replacement = numbering.operand_for(handle, operand)
+                if isinstance(replacement, Const) \
+                        and replacement.type != operand.type:
+                    # Never change an operand's type (e.g. an int copy
+                    # of a float): keep the register.
+                    replacement = operand
+                    handle = (operand, numbering.current(operand))
+                if replacement is not operand:
+                    changes += 1
+                new_srcs.append(replacement)
+                handles.append(handle)
+            else:
+                new_srcs.append(operand)
+                handles.append(operand)
+        instr.srcs = new_srcs
+        if instr.fork_args:
+            new_args = []
+            for operand in instr.fork_args:
+                if is_vreg(operand):
+                    handle = numbering.handle(operand)
+                    replacement = numbering.operand_for(handle, operand)
+                    if isinstance(replacement, Const) \
+                            and replacement.type != operand.type:
+                        replacement = operand
+                    if replacement is not operand:
+                        changes += 1
+                    new_args.append(replacement)
+                else:
+                    new_args.append(operand)
+            instr.fork_args = new_args
+
+        dest = instr.dest
+        spec = instr.spec
+        if spec.is_memory or spec.is_fork:
+            # Redundant load elimination: a plain load of the same
+            # symbol at the same index, with no intervening store to
+            # that symbol, no synchronizing access, and no fork, reuses
+            # the earlier register (the paper: "a significant fraction
+            # of the memory operations have been replaced by register
+            # operations").  Synchronizing accesses and forks act as
+            # barriers.
+            if instr.is_sync_memory or spec.is_fork:
+                numbering.barrier_epoch += 1
+                numbering.load_table.clear()
+            elif spec.is_store:
+                numbering.store_epoch[instr.sym] = \
+                    numbering.store_epoch.get(instr.sym, 0) + 1
+            elif spec.is_load and load_elimination:
+                key = (instr.sym, _normalize(handles[0]),
+                       numbering.store_epoch.get(instr.sym, 0),
+                       numbering.barrier_epoch)
+                previous = numbering.load_table.get(key)
+                if previous is not None:
+                    prev_vreg, prev_version = previous
+                    if numbering.current(prev_vreg) == prev_version \
+                            and prev_vreg.type == dest.type:
+                        changes += 1
+                        move_op = "imov" if dest.type == "i" else "fmov"
+                        replacement = IRInstr(move_op, dest, [prev_vreg])
+                        numbering.bump(dest)
+                        numbering.copy_of[
+                            (dest.id, numbering.current(dest))] = previous
+                        new_instrs.append(replacement)
+                        continue
+                numbering.bump(dest)
+                numbering.load_table[key] = (dest,
+                                             numbering.current(dest))
+                new_instrs.append(instr)
+                continue
+            elif spec.is_load:
+                numbering.bump(dest)
+                new_instrs.append(instr)
+                continue
+        if instr.is_pure and dest is not None:
+            all_const = all(isinstance(h, Const) for h in handles)
+            if instr.spec.is_move:
+                # Record the copy/constant and keep the instruction;
+                # DCE removes it if nothing ends up needing it.
+                numbering.bump(dest)
+                key = (dest.id, numbering.current(dest))
+                handle = handles[0]
+                if isinstance(handle, Const):
+                    if handle.type == dest.type:
+                        numbering.const_of[key] = handle
+                else:
+                    numbering.copy_of[key] = handle
+                new_instrs.append(instr)
+                continue
+            if all_const:
+                folded = _fold(instr, handles)
+                if folded is not None and folded.type == dest.type:
+                    changes += 1
+                    replacement = IRInstr(
+                        "imov" if dest.type == "i" else "fmov",
+                        dest, [folded])
+                    numbering.bump(dest)
+                    numbering.const_of[(dest.id, numbering.current(dest))] \
+                        = folded
+                    new_instrs.append(replacement)
+                    continue
+            simplified = _algebraic(instr, handles)
+            if simplified is not None:
+                op, srcs = simplified
+                changes += 1
+                move_op = "imov" if dest.type == "i" else "fmov"
+                replacement = IRInstr(move_op, dest, srcs)
+                numbering.bump(dest)
+                key = (dest.id, numbering.current(dest))
+                src = srcs[0]
+                if isinstance(src, Const):
+                    if src.type == dest.type:
+                        numbering.const_of[key] = src
+                else:
+                    numbering.copy_of[key] = (src, numbering.current(src))
+                new_instrs.append(replacement)
+                continue
+            key = _expr_key(instr, handles)
+            previous = numbering.expr_table.get(key)
+            if previous is not None:
+                prev_vreg, prev_version = previous
+                if numbering.current(prev_vreg) == prev_version \
+                        and prev_vreg.type == dest.type:
+                    changes += 1
+                    move_op = "imov" if dest.type == "i" else "fmov"
+                    replacement = IRInstr(move_op, dest, [prev_vreg])
+                    numbering.bump(dest)
+                    numbering.copy_of[(dest.id, numbering.current(dest))] \
+                        = (prev_vreg, prev_version)
+                    new_instrs.append(replacement)
+                    continue
+            numbering.bump(dest)
+            numbering.expr_table[key] = (dest, numbering.current(dest))
+            new_instrs.append(instr)
+            continue
+        if dest is not None:
+            numbering.bump(dest)
+        if not is_terminator:
+            new_instrs.append(instr)
+    block.instrs = new_instrs
+    return changes

@@ -1,0 +1,38 @@
+"""Optimization pipeline: iterate value numbering (constant/copy
+propagation, folding, CSE, redundant load elimination), global
+single-definition constant propagation, and DCE to a bounded fixed
+point — the paper compiler's optimization inventory."""
+
+from ..options import CompilerOptions, DEFAULT_OPTIONS
+from .dce import eliminate_dead_code
+from .globalprop import propagate_global_constants
+from .lvn import local_value_numbering
+
+_MAX_ROUNDS = 8
+
+
+def optimize_thread(thread_ir, options=True):
+    """Optimize a thread IR in place; returns total change count.
+
+    ``options`` may be a :class:`CompilerOptions` or a plain bool
+    (True = defaults, False = no optimization).
+    """
+    if options is True:
+        options = DEFAULT_OPTIONS
+    elif options is False:
+        options = CompilerOptions(optimize=False)
+    if not options.optimize:
+        return 0
+    total = 0
+    for __ in range(_MAX_ROUNDS):
+        changes = 0
+        for block in thread_ir.blocks:
+            changes += local_value_numbering(
+                block, load_elimination=options.load_elimination)
+        if options.global_constants:
+            changes += propagate_global_constants(thread_ir)
+        changes += eliminate_dead_code(thread_ir)
+        total += changes
+        if changes == 0:
+            break
+    return total

@@ -1,0 +1,51 @@
+"""Compiler option flags.
+
+Every optimization and scheduling refinement can be switched off
+individually, so the ablation benchmarks can quantify what each design
+choice buys (see ``benchmarks/test_ablations.py``).
+"""
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class CompilerOptions:
+    """Feature switches for the compilation pipeline."""
+
+    #: Master switch for the scalar optimizer (LVN + global constants
+    #: + DCE).  Off = the paper's unoptimized lower bound.
+    optimize: bool = True
+    #: Replace repeated loads of unchanged locations with register
+    #: copies (the paper's "memory operations replaced by register
+    #: operations"); requires ``optimize``.
+    load_elimination: bool = True
+    #: Propagate single-definition constant homes across blocks.
+    global_constants: bool = True
+    #: Affine memory disambiguation in the dependence graph; off makes
+    #: every same-symbol store/load pair alias.
+    affine_alias: bool = True
+    #: Allow a producing operation to name a second destination
+    #: register in another cluster; off forces explicit move ops for
+    #: all inter-cluster communication.
+    dual_destinations: bool = True
+    #: Re-schedule with majority-use home placement (the second
+    #: scheduling pass); off keeps the lazy first-touch homes.
+    two_pass_homes: bool = True
+
+    def without(self, **flags):
+        """A copy with the given flags overridden (ablation helper)."""
+        return replace(self, **flags)
+
+
+DEFAULT_OPTIONS = CompilerOptions()
+
+#: Named ablations used by benchmarks/test_ablations.py.
+ABLATIONS = {
+    "full": DEFAULT_OPTIONS,
+    "no-optimizer": CompilerOptions(optimize=False),
+    "no-load-elim": CompilerOptions(load_elimination=False),
+    "no-global-const": CompilerOptions(global_constants=False),
+    "no-affine-alias": CompilerOptions(affine_alias=False),
+    "no-dual-dest": CompilerOptions(dual_destinations=False),
+    "one-pass-homes": CompilerOptions(two_pass_homes=False),
+}

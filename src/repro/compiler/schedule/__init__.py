@@ -1,0 +1,11 @@
+"""Static scheduling: critical-path list scheduling of each basic block
+onto the configured clusters, with cluster placement, inter-cluster move
+insertion, and dual-destination result forwarding."""
+
+from .modes import MODES, ThreadScheduleSpec, main_spec, thread_spec
+from .ddg import DependenceGraph, build_ddg
+from .scheduler import ScheduledThread, ThreadScheduler
+
+__all__ = ["MODES", "ThreadScheduleSpec", "main_spec", "thread_spec",
+           "DependenceGraph", "build_ddg", "ScheduledThread",
+           "ThreadScheduler"]

@@ -1,0 +1,75 @@
+"""Machine modes (paper Section 3, "Simulation Modes").
+
+Code can be compiled in two ways depending on the mode flag: ``single``
+(each thread's code runs on the function units of a single cluster) and
+``unrestricted`` (each thread may use as many function units as it
+needs).  The five simulation modes map onto those:
+
+==========  ========== ==============================================
+mode        threading  cluster restriction
+==========  ========== ==============================================
+seq         single     one cluster
+sts         single     unrestricted (VLIW-like)
+ideal       single     unrestricted, source fully hand-unrolled
+tpe         threaded   each thread pinned to one cluster
+coupled     threaded   unrestricted, rotated per-thread cluster order
+==========  ========== ==============================================
+
+The compiler assigns an ordered list of clusters to each thread; using
+different orderings for different threads is a simple form of load
+balancing (the paper's words).  Branch clusters are usable by any
+thread in every mode.
+"""
+
+from dataclasses import dataclass
+
+from ...errors import CompileError
+
+MODES = ("seq", "sts", "ideal", "tpe", "coupled")
+
+#: Modes whose source programs must be single threaded.
+SINGLE_THREAD_MODES = ("seq", "sts", "ideal")
+
+
+@dataclass(frozen=True)
+class ThreadScheduleSpec:
+    """Cluster assignment for one compiled thread."""
+
+    allowed_clusters: tuple      # ordered arithmetic-cluster preference
+
+    def __post_init__(self):
+        if not self.allowed_clusters:
+            raise CompileError("thread has no clusters to run on")
+
+
+def _rotate(sequence, start):
+    start %= len(sequence)
+    return tuple(sequence[start:]) + tuple(sequence[:start])
+
+
+def main_spec(mode, config):
+    """Cluster assignment for the main thread."""
+    arith = config.arithmetic_clusters()
+    if mode not in MODES:
+        raise CompileError("unknown mode %r (one of %s)"
+                           % (mode, ", ".join(MODES)))
+    if mode in ("seq", "tpe"):
+        return ThreadScheduleSpec((arith[0],))
+    return ThreadScheduleSpec(tuple(arith))
+
+
+def thread_spec(mode, config, placement):
+    """Cluster assignment for a forked thread.
+
+    ``placement`` is the cluster pin (TPE) or the rotation offset
+    (coupled), chosen per fork site by the driver.
+    """
+    arith = config.arithmetic_clusters()
+    if mode == "tpe":
+        if placement not in arith:
+            raise CompileError("TPE thread pinned to cluster %r, which is "
+                               "not an arithmetic cluster" % placement)
+        return ThreadScheduleSpec((placement,))
+    if mode == "coupled":
+        return ThreadScheduleSpec(_rotate(arith, placement))
+    raise CompileError("mode %r does not fork threads" % mode)

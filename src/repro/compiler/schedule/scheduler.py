@@ -1,0 +1,445 @@
+"""Critical-path list scheduling onto clusters.
+
+Per basic block (the paper's compiler does not move code across basic
+block boundaries), operations are placed most-critical-first onto
+(cluster, unit, row) slots:
+
+* a unit reads sources only from its own cluster's register file, so
+  when an operand lives elsewhere the scheduler either adds a second
+  destination to the producing operation (operations may name up to two
+  simultaneous register destinations, possibly in different clusters)
+  or inserts an explicit register move executed by an ALU in a cluster
+  that holds the value;
+* operations are placed to minimize communication between function
+  units (candidate clusters are scored by resulting row and fixup
+  count, preferring the thread's cluster ordering);
+* rows become wide instruction words; dependent operations always sit
+  in later rows than their producers, so runtime presence bits only
+  ever *stretch* the schedule, never reorder it;
+* at most one branch-unit operation per row (the compiler allows each
+  thread at most one branch operation per cycle);
+* the block terminator is placed in the last row.
+"""
+
+from dataclasses import dataclass, field
+
+from ...errors import CompileError
+from ...isa.operations import UnitClass
+from ..ir import Const, is_vreg
+from ..options import DEFAULT_OPTIONS
+from .ddg import build_ddg
+
+
+@dataclass(frozen=True)
+class PlacedReg:
+    """A virtual register resolved to a cluster's register file."""
+
+    vreg: object
+    cluster: int
+
+    def __str__(self):
+        return "%s@c%d" % (self.vreg, self.cluster)
+
+
+@dataclass
+class SchedEntry:
+    """One operation placed at (cluster, unit, row)."""
+
+    op: str
+    row: int
+    cluster: int
+    kind: UnitClass
+    unit_index: int
+    dests: list = field(default_factory=list)    # [(vreg, cluster)]
+    srcs: list = field(default_factory=list)     # PlacedReg | Const
+    sym: str = None
+    target: str = None
+    fork_args: list = None
+    avail: int = 0          # row at which the result becomes readable
+
+
+@dataclass
+class ScheduledBlock:
+    name: str
+    rows: dict                                   # row -> [SchedEntry]
+
+    def max_row(self):
+        return max(self.rows) if self.rows else -1
+
+    def entries(self):
+        for row in sorted(self.rows):
+            for entry in self.rows[row]:
+                yield entry
+
+    def n_words(self):
+        return len(self.rows)
+
+
+@dataclass
+class ScheduledThread:
+    name: str
+    blocks: list
+    param_homes: list        # [(vreg, cluster)] in parameter order
+    home_loc: dict
+
+    def n_words(self):
+        return sum(block.n_words() for block in self.blocks)
+
+
+class ThreadScheduler:
+    """Schedules one thread's IR for one cluster assignment.
+
+    Scheduling runs in two passes: the first places operations with
+    lazily assigned home-register clusters and records which clusters
+    actually read each home; the second pins every home to its
+    majority-use cluster and re-schedules, minimizing the inter-cluster
+    moves that loop-carried variables would otherwise pay on every
+    iteration (the paper: operations are placed to minimize
+    communication between function units).
+    """
+
+    def __init__(self, thread_ir, config, spec, live_in, home_plan=None,
+                 options=None):
+        self.ir = thread_ir
+        self.config = config
+        self.spec = spec
+        self.options = options or DEFAULT_OPTIONS
+        self.allowed = list(spec.allowed_clusters)
+        self.live_in = live_in
+        self._home_plan = home_plan
+        self.alu_allowed = [c for c in self.allowed
+                            if config.clusters[c].has_alu]
+        if not self.alu_allowed:
+            raise CompileError(
+                "thread %r is restricted to clusters %r, none of which "
+                "has an ALU" % (thread_ir.name, self.allowed))
+        self.bru_clusters = config.branch_clusters() + [
+            c for c in self.allowed
+            if config.clusters[c].has(UnitClass.BRU)
+            and c not in config.branch_clusters()]
+        if not self.bru_clusters:
+            raise CompileError("no branch unit available")
+        self.home_loc = dict(home_plan or {})
+        self._home_rr = 0
+        for position, (__, vreg) in enumerate(thread_ir.params):
+            self.home_loc.setdefault(vreg.id, self.alu_allowed[
+                position % len(self.alu_allowed)])
+        self._temp_rr = 0
+        self._use_votes = {}
+
+    # -- small helpers ---------------------------------------------------
+
+    def _home_of(self, vreg_id, prefer=None):
+        cluster = self.home_loc.get(vreg_id)
+        if cluster is None:
+            if prefer is not None and prefer in self.alu_allowed:
+                cluster = prefer
+            else:
+                cluster = self.alu_allowed[self._home_rr
+                                           % len(self.alu_allowed)]
+                self._home_rr += 1
+            self.home_loc[vreg_id] = cluster
+        return cluster
+
+    def _units(self, cluster, kind):
+        return self.config.units_of_kind(kind, cluster)
+
+    def _true_latency(self, instr):
+        """Producer-to-consumer delay used for dependence estimates."""
+        kind = instr.spec.unit
+        candidates = [c for c in self.allowed
+                      if self.config.clusters[c].has(kind)]
+        if not candidates:
+            candidates = [c for c in range(self.config.n_clusters)
+                          if self.config.clusters[c].has(kind)]
+        if not candidates:
+            raise CompileError("machine has no %s unit for %s"
+                               % (kind, instr))
+        latency = min(min(u.latency for u in self._units(c, kind))
+                      for c in candidates)
+        if instr.spec.is_load:
+            latency += self.config.memory.hit_latency - 1
+        return latency
+
+    def _find_slot(self, cluster, kind, min_row, mark=False, control=False):
+        """Earliest (row, unit index, latency) for a unit of ``kind`` in
+        ``cluster`` at or after ``min_row``; None if the cluster has no
+        such unit."""
+        units = self._units(cluster, kind)
+        if not units:
+            return None
+        row = max(min_row, 0)
+        while True:
+            if control and row in self._control_rows:
+                row += 1
+                continue
+            for index, slot in enumerate(units):
+                occupied = self._busy.setdefault((cluster, kind, index),
+                                                 set())
+                if row not in occupied:
+                    if mark:
+                        occupied.add(row)
+                        if control:
+                            self._control_rows.add(row)
+                    return row, index, slot.latency
+            row += 1
+
+    # -- operand placement -------------------------------------------------
+
+    def _locations(self, vreg):
+        locations = self._loc.get(vreg.id)
+        if locations is None:
+            home = self._home_of(vreg.id)
+            locations = self._loc[vreg.id] = {home: 0}
+        return locations
+
+    def _move_options(self, vreg, locations):
+        """Clusters that hold the value and can execute a register move
+        (have an IU or FPU) within the thread's allowance."""
+        return [c for c in locations if c in self.alu_allowed]
+
+    def _operand_avail(self, vreg, cluster, producer_entry, mutate):
+        """Row at which ``vreg`` is readable in ``cluster``, adding a
+        second producer destination or a move when needed."""
+        locations = self._locations(vreg)
+        avail = locations.get(cluster)
+        if avail is not None:
+            return avail
+        option_extra = None
+        if self.options.dual_destinations and producer_entry is not None \
+                and len(producer_entry.dests) < 2:
+            option_extra = producer_entry.avail
+        option_move = None
+        move_from = None
+        for source in self._move_options(vreg, locations):
+            kind = self._move_kind(source, vreg)
+            slot = self._find_slot(source, kind, locations[source])
+            if slot is None:
+                continue
+            row, __, latency = slot
+            candidate = row + latency
+            if option_move is None or candidate < option_move:
+                option_move = candidate
+                move_from = source
+        if option_extra is None and option_move is None:
+            raise CompileError(
+                "thread %r: value %s cannot reach cluster %d (no free "
+                "destination and no movable copy)"
+                % (self.ir.name, vreg, cluster))
+        use_extra = option_extra is not None and (
+            option_move is None or option_extra <= option_move)
+        if not mutate:
+            return option_extra if use_extra else option_move
+        if use_extra:
+            producer_entry.dests.append((vreg, cluster))
+            locations[cluster] = option_extra
+            return option_extra
+        kind = self._move_kind(move_from, vreg)
+        row, index, latency = self._find_slot(move_from, kind,
+                                              locations[move_from],
+                                              mark=True)
+        move_op = "imov" if kind is UnitClass.IU else "fmov"
+        entry = SchedEntry(move_op, row, move_from, kind, index,
+                           dests=[(vreg, cluster)],
+                           srcs=[PlacedReg(vreg, move_from)],
+                           avail=row + latency)
+        self._rows.setdefault(row, []).append(entry)
+        self._max_row = max(self._max_row, row)
+        self._moves_inserted += 1
+        locations[cluster] = row + latency
+        return row + latency
+
+    def _move_kind(self, cluster, vreg):
+        spec = self.config.clusters[cluster]
+        preferred = UnitClass.IU if vreg.type == "i" else UnitClass.FPU
+        if spec.has(preferred):
+            return preferred
+        return UnitClass.FPU if preferred is UnitClass.IU else UnitClass.IU
+
+    # -- instruction placement ------------------------------------------------
+
+    def _candidate_clusters(self, instr):
+        kind = instr.spec.unit
+        if kind is UnitClass.BRU:
+            return list(self.bru_clusters)
+        candidates = [c for c in self.allowed
+                      if self.config.clusters[c].has(kind)]
+        if not candidates:
+            raise CompileError(
+                "thread %r: no %s unit among allowed clusters %r for %s"
+                % (self.ir.name, kind, self.allowed, instr))
+        return candidates
+
+    def _base_est(self, node, graph, entries):
+        est = 0
+        for edge in graph.preds[node]:
+            if edge.kind == "true":
+                continue
+            est = max(est, entries[edge.pred].row + edge.delay)
+        return est
+
+    def _estimate(self, instr, node, cluster, graph, entries, base_est):
+        est = base_est
+        fixups = 0
+        for operand in instr.srcs:
+            if not is_vreg(operand):
+                continue
+            producer_node = graph.producer[node].get(operand.id)
+            producer_entry = entries.get(producer_node) \
+                if producer_node is not None else None
+            locations = self._locations(operand)
+            if cluster in locations:
+                est = max(est, locations[cluster])
+            else:
+                est = max(est, self._operand_avail(operand, cluster,
+                                                   producer_entry,
+                                                   mutate=False))
+                fixups += 1
+        return est, fixups
+
+    def _commit(self, instr, node, cluster, graph, entries, base_est,
+                min_row=0):
+        est = base_est
+        placed_srcs = []
+        for operand in instr.srcs:
+            if not is_vreg(operand):
+                placed_srcs.append(operand)
+                continue
+            producer_node = graph.producer[node].get(operand.id)
+            producer_entry = entries.get(producer_node) \
+                if producer_node is not None else None
+            est = max(est, self._operand_avail(operand, cluster,
+                                               producer_entry,
+                                               mutate=True))
+            placed_srcs.append(PlacedReg(operand, cluster))
+            if operand.is_home and cluster in self.alu_allowed:
+                votes = self._use_votes.setdefault(operand.id, {})
+                votes[cluster] = votes.get(cluster, 0) + 1
+        placed_args = None
+        if instr.fork_args is not None:
+            placed_args = []
+            for operand in instr.fork_args:
+                if not is_vreg(operand):
+                    placed_args.append(operand)
+                    continue
+                locations = self._locations(operand)
+                source, avail = min(locations.items(), key=lambda kv: kv[1])
+                est = max(est, avail)
+                placed_args.append(PlacedReg(operand, source))
+        kind = instr.spec.unit
+        is_control = kind is UnitClass.BRU
+        row, index, latency = self._find_slot(cluster, kind,
+                                              max(est, min_row),
+                                              mark=True,
+                                              control=is_control)
+        avail = row + latency
+        if instr.spec.is_load:
+            avail += self.config.memory.hit_latency - 1
+        entry = SchedEntry(instr.op, row, cluster, kind, index,
+                           srcs=placed_srcs, sym=instr.sym,
+                           target=instr.target, fork_args=placed_args,
+                           avail=avail)
+        if instr.dest is not None:
+            dest = instr.dest
+            if dest.is_home:
+                dest_cluster = self._home_of(dest.id, prefer=cluster)
+            elif cluster in self.alu_allowed:
+                dest_cluster = cluster
+            else:
+                dest_cluster = self.alu_allowed[self._temp_rr
+                                                % len(self.alu_allowed)]
+                self._temp_rr += 1
+            entry.dests = [(dest, dest_cluster)]
+            # A redefinition invalidates every tracked copy.
+            self._loc[dest.id] = {dest_cluster: avail}
+        self._rows.setdefault(row, []).append(entry)
+        self._max_row = max(self._max_row, row)
+        entries[node] = entry
+        return entry
+
+    def _place(self, instr, node, graph, entries, is_terminator):
+        base_est = self._base_est(node, graph, entries)
+        candidates = self._candidate_clusters(instr)
+        best = None
+        for preference, cluster in enumerate(candidates):
+            est, fixups = self._estimate(instr, node, cluster, graph,
+                                         entries, base_est)
+            slot = self._find_slot(cluster, instr.spec.unit, est,
+                                   mark=False,
+                                   control=instr.spec.unit is UnitClass.BRU)
+            if slot is None:
+                continue
+            row = slot[0]
+            score = (row, fixups, preference)
+            if best is None or score < best[0]:
+                best = (score, cluster)
+        if best is None:
+            raise CompileError("thread %r: nowhere to place %s"
+                               % (self.ir.name, instr))
+        min_row = self._max_row if is_terminator else 0
+        self._commit(instr, node, best[1], graph, entries, base_est,
+                     min_row=min_row)
+
+    # -- per-block driver ---------------------------------------------------
+
+    def _schedule_block(self, block):
+        graph = build_ddg(block, self._true_latency,
+                          affine_alias=self.options.affine_alias)
+        instrs = graph.instrs
+        priority = graph.priorities(self._true_latency)
+        self._loc = {}
+        for home_id in self.live_in.get(block.name, ()):
+            home = self._home_of(home_id)
+            self._loc[home_id] = {home: 0}
+        self._busy = {}
+        self._control_rows = set()
+        self._rows = {}
+        self._max_row = -1
+        entries = {}
+        remaining = [len(graph.preds[i]) for i in range(len(instrs))]
+        ready = [i for i in range(len(instrs)) if remaining[i] == 0]
+        scheduled = 0
+        while ready:
+            ready.sort(key=lambda i: (-priority[i], i))
+            node = ready.pop(0)
+            instr = instrs[node]
+            is_terminator = (block.terminator is not None
+                             and node == len(instrs) - 1)
+            self._place(instr, node, graph, entries, is_terminator)
+            scheduled += 1
+            for edge in graph.succs[node]:
+                remaining[edge.succ] -= 1
+                if remaining[edge.succ] == 0:
+                    ready.append(edge.succ)
+        if scheduled != len(instrs):
+            raise CompileError("dependence cycle while scheduling block %r"
+                               % block.name)
+        return ScheduledBlock(block.name, self._rows)
+
+    def _run_all(self):
+        self._moves_inserted = 0
+        blocks = [self._schedule_block(block) for block in self.ir.blocks]
+        param_homes = [(vreg, self.home_loc[vreg.id])
+                       for __, vreg in self.ir.params]
+        return ScheduledThread(self.ir.name, blocks, param_homes,
+                               dict(self.home_loc))
+
+    def _revised_home_plan(self):
+        """Pin each home register to the cluster that read it most."""
+        plan = dict(self.home_loc)
+        for home_id, votes in self._use_votes.items():
+            best = max(sorted(votes), key=lambda c: votes[c])
+            plan[home_id] = best
+        return plan
+
+    def schedule(self):
+        first = self._run_all()
+        if self._home_plan is not None or not self.options.two_pass_homes:
+            return first
+        plan = self._revised_home_plan()
+        if plan == self.home_loc:
+            return first
+        second = ThreadScheduler(self.ir, self.config, self.spec,
+                                 self.live_in, home_plan=plan,
+                                 options=self.options)
+        return second._run_all()

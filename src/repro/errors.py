@@ -1,0 +1,41 @@
+"""Exception hierarchy for the processor-coupling reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch the whole family with a single except clause while the
+subclasses preserve which layer failed (machine description, compiler,
+assembler, or simulator).
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """An invalid machine configuration was constructed or requested."""
+
+
+class AsmError(ReproError):
+    """Malformed assembly text or an ill-formed in-memory program."""
+
+
+class CompileError(ReproError):
+    """The compiler rejected a source program."""
+
+    def __init__(self, message, form=None):
+        if form is not None:
+            message = "%s (in form: %s)" % (message, form)
+        super().__init__(message)
+        self.form = form
+
+
+class SimulationError(ReproError):
+    """The simulator detected an inconsistent machine state."""
+
+
+class DeadlockError(SimulationError):
+    """No thread can make progress and nothing is in flight."""
+
+
+class InterpError(ReproError):
+    """The reference interpreter rejected or could not run a program."""

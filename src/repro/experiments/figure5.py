@@ -1,0 +1,38 @@
+"""Figure 5: function unit utilization (FPU, IU, MEM, BR operations per
+cycle) for every benchmark and machine mode."""
+
+from ..isa.operations import UnitClass
+from ..machine import baseline
+from ..programs import get_benchmark
+from ..programs.suite import BENCHMARK_ORDER
+from . import paper
+from .report import format_table
+from .runner import Harness
+
+_KINDS = (UnitClass.FPU, UnitClass.IU, UnitClass.MEM, UnitClass.BRU)
+
+
+def run(harness=None, config=None):
+    harness = harness or Harness()
+    config = config or baseline()
+    rows = []
+    for benchmark in BENCHMARK_ORDER:
+        modes = [m for m in paper.MODE_ORDER
+                 if m in get_benchmark(benchmark).modes]
+        for mode in modes:
+            result = harness.run(benchmark, mode, config)
+            row = {"benchmark": benchmark, "mode": mode}
+            for kind in _KINDS:
+                row[kind.value] = result.utilization[kind]
+            rows.append(row)
+    return rows
+
+
+def render(rows):
+    table_rows = [[row["benchmark"], row["mode"]]
+                  + [row[kind.value] for kind in _KINDS]
+                  for row in rows]
+    return format_table(
+        ["benchmark", "mode", "FPU/cyc", "IU/cyc", "MEM/cyc", "BR/cyc"],
+        table_rows,
+        title="Figure 5: function unit utilization by class")

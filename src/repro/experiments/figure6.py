@@ -1,0 +1,52 @@
+"""Figure 6: Coupled-mode cycle counts under the five restricted
+communication schemes, plus the relative interconnect area model."""
+
+from ..machine import baseline
+from ..machine.interconnect import ALL_SCHEMES, InterconnectSpec
+from ..programs.suite import BENCHMARK_ORDER
+from .report import format_grid
+from .runner import Harness
+
+
+def run(harness=None, config=None):
+    harness = harness or Harness()
+    config = config or baseline()
+    cells = {}
+    for scheme in ALL_SCHEMES:
+        scheme_config = config.with_interconnect(scheme)
+        for benchmark in BENCHMARK_ORDER:
+            result = harness.run(benchmark, "coupled", scheme_config)
+            cells[(benchmark, scheme.value)] = result.cycles
+    areas = {
+        scheme.value: InterconnectSpec.from_scheme(scheme).relative_area(
+            n_clusters=4, units_per_cluster=3)
+        for scheme in ALL_SCHEMES}
+    return {"cycles": cells, "areas": areas}
+
+
+def overhead_vs_full(data, scheme):
+    """Average cycle overhead of a scheme relative to Full."""
+    ratios = []
+    for benchmark in BENCHMARK_ORDER:
+        full = data["cycles"][(benchmark, "full")]
+        ratios.append(data["cycles"][(benchmark, scheme)] / full - 1.0)
+    return sum(ratios) / len(ratios)
+
+
+def render(data):
+    scheme_names = [s.value for s in ALL_SCHEMES]
+    grid = format_grid(
+        {(b, s): data["cycles"][(b, s)] for b in BENCHMARK_ORDER
+         for s in scheme_names},
+        BENCHMARK_ORDER, scheme_names,
+        title="Figure 6: Coupled cycles under restricted communication")
+    lines = [grid, ""]
+    for scheme in scheme_names:
+        if scheme == "full":
+            continue
+        lines.append("%-12s overhead vs full: %5.1f%%  relative area: %.2f"
+                     % (scheme, 100 * overhead_vs_full(data, scheme),
+                        data["areas"][scheme]))
+    lines.append("(paper: Tri-port needs ~4% more cycles than Full at "
+                 "~28% of its interconnect area)")
+    return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""Figure 7: cycle counts under variable memory latency (Min, Mem1,
+Mem2) for the statically scheduled and threaded modes.
+
+Long, statically unpredictable latencies stall STS/Ideal; Coupled and
+TPE hide them by running other threads (Coupled better, because a
+stalled TPE thread idles its whole cluster).
+"""
+
+from ..machine import baseline, mem1, mem2, min_memory
+from ..programs import get_benchmark
+from ..programs.suite import BENCHMARK_ORDER
+from .report import format_grid
+from .runner import Harness
+
+MEMORY_MODELS = ("min", "mem1", "mem2")
+MODES = ("sts", "tpe", "coupled", "ideal")
+_SPECS = {"min": min_memory, "mem1": mem1, "mem2": mem2}
+
+
+def run(harness=None, config=None):
+    harness = harness or Harness()
+    config = config or baseline()
+    cells = {}
+    for model_name in MEMORY_MODELS:
+        memory_config = config.with_memory(_SPECS[model_name]())
+        for benchmark in BENCHMARK_ORDER:
+            for mode in MODES:
+                if mode not in get_benchmark(benchmark).modes:
+                    continue
+                result = harness.run(benchmark, mode, memory_config)
+                cells[(benchmark, mode, model_name)] = result.cycles
+    return cells
+
+
+def slowdown(cells, mode):
+    """Average Mem2/Min cycle ratio for one mode across benchmarks."""
+    ratios = []
+    for benchmark in BENCHMARK_ORDER:
+        if (benchmark, mode, "min") not in cells:
+            continue
+        ratios.append(cells[(benchmark, mode, "mem2")]
+                      / cells[(benchmark, mode, "min")])
+    return sum(ratios) / len(ratios)
+
+
+def render(cells):
+    sections = []
+    for benchmark in BENCHMARK_ORDER:
+        modes = [m for m in MODES
+                 if (benchmark, m, "min") in cells]
+        grid = format_grid(
+            {(m, mm): cells[(benchmark, m, mm)]
+             for m in modes for mm in MEMORY_MODELS},
+            modes, MEMORY_MODELS,
+            title="Figure 7 — %s (cycles)" % benchmark)
+        sections.append(grid)
+    summary = ["average Mem2/Min slowdown:"]
+    for mode in ("sts", "tpe", "coupled"):
+        summary.append("  %-8s %.2fx" % (mode, slowdown(cells, mode)))
+    summary.append("(paper: STS ~5.5x, TPE ~2.3x, Coupled ~2.0x)")
+    return "\n\n".join(sections) + "\n" + "\n".join(summary)

@@ -1,0 +1,39 @@
+"""Figure 8: Coupled-mode cycle counts as a function of the number and
+mix of function units — all configurations of 1..4 IUs x 1..4 FPUs with
+four memory units and a single branch cluster."""
+
+from ..machine import unit_mix
+from ..programs.suite import BENCHMARK_ORDER
+from .report import format_grid
+from .runner import Harness
+
+SWEEP = tuple((n_iu, n_fpu) for n_iu in (1, 2, 3, 4)
+              for n_fpu in (1, 2, 3, 4))
+
+
+def run(harness=None, benchmarks=BENCHMARK_ORDER):
+    harness = harness or Harness()
+    cells = {}
+    for n_iu, n_fpu in SWEEP:
+        config = unit_mix(n_iu, n_fpu)
+        for benchmark in benchmarks:
+            result = harness.run(benchmark, "coupled", config)
+            cells[(benchmark, n_iu, n_fpu)] = result.cycles
+    return cells
+
+
+def render(cells):
+    benchmarks = sorted({key[0] for key in cells},
+                        key=lambda b: BENCHMARK_ORDER.index(b))
+    sections = []
+    for benchmark in benchmarks:
+        grid = format_grid(
+            {("%d IU" % n_iu, "%d FPU" % n_fpu):
+             cells[(benchmark, n_iu, n_fpu)]
+             for n_iu in (1, 2, 3, 4) for n_fpu in (1, 2, 3, 4)},
+            ["%d IU" % n for n in (1, 2, 3, 4)],
+            ["%d FPU" % n for n in (1, 2, 3, 4)],
+            title="Figure 8 — %s (Coupled cycles, 4 MEM units)"
+                  % benchmark)
+        sections.append(grid)
+    return "\n\n".join(sections)

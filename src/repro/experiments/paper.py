@@ -1,0 +1,54 @@
+"""The paper's published numbers, for side-by-side comparison.
+
+Absolute cycle counts cannot be expected to match (different compiler,
+different benchmark codings), so the harness compares *shapes*: ratios
+to Coupled mode, orderings, and utilization patterns.
+"""
+
+#: Table 2 — baseline cycle counts.
+TABLE2_CYCLES = {
+    ("matrix", "seq"): 1992, ("matrix", "sts"): 1182,
+    ("matrix", "tpe"): 629, ("matrix", "coupled"): 638,
+    ("matrix", "ideal"): 350,
+    ("fft", "seq"): 3377, ("fft", "sts"): 1792,
+    ("fft", "tpe"): 1977, ("fft", "coupled"): 1102,
+    ("fft", "ideal"): 402,
+    ("model", "seq"): 993, ("model", "sts"): 771,
+    ("model", "tpe"): 395, ("model", "coupled"): 369,
+    ("lud", "seq"): 57975, ("lud", "sts"): 33126,
+    ("lud", "tpe"): 22627, ("lud", "coupled"): 21543,
+}
+
+#: Table 2 — FPU and IU utilization (average operations per cycle).
+TABLE2_UTILIZATION = {
+    ("matrix", "seq"): (0.69, 0.90), ("matrix", "sts"): (1.16, 1.52),
+    ("matrix", "tpe"): (2.19, 2.83), ("matrix", "coupled"): (2.16, 2.79),
+    ("matrix", "ideal"): (3.93, 0.28),
+    ("fft", "seq"): (0.24, 0.61), ("fft", "sts"): (0.45, 1.24),
+    ("fft", "tpe"): (0.40, 1.05), ("fft", "coupled"): (0.73, 2.03),
+    ("fft", "ideal"): (1.99, 2.54),
+    ("model", "seq"): (0.21, 0.10), ("model", "sts"): (0.27, 0.13),
+    ("model", "tpe"): (0.54, 0.64), ("model", "coupled"): (0.57, 0.70),
+    ("lud", "seq"): (0.14, 0.45), ("lud", "sts"): (0.24, 0.78),
+    ("lud", "tpe"): (0.35, 1.35), ("lud", "coupled"): (0.37, 1.42),
+}
+
+#: Table 3 — Model interference experiment.
+TABLE3 = {
+    ("sts", 1): {"schedule": 25, "runtime": 25.0, "devices": 20},
+    ("coupled", 1): {"schedule": 23, "runtime": 28.0, "devices": 8},
+    ("coupled", 2): {"schedule": 23, "runtime": 38.7, "devices": 6},
+    ("coupled", 3): {"schedule": 23, "runtime": 77.3, "devices": 3},
+    ("coupled", 4): {"schedule": 23, "runtime": 80.7, "devices": 3},
+}
+TABLE3_AGGREGATE = {"coupled_total": 274, "sts_total": 505}
+
+#: Figure 6 — qualitative facts: Tri-port costs ~4% over Full on
+#: average; Single-port and Shared-bus are far worse.
+FIGURE6_TRIPORT_OVERHEAD = 0.04
+
+#: Figure 7 — average slowdowns of Mem2 relative to Min.
+FIGURE7_SLOWDOWN = {"sts": 5.5, "coupled": 2.0, "tpe": 2.3}
+
+#: The five machine modes in presentation order.
+MODE_ORDER = ("seq", "sts", "tpe", "coupled", "ideal")

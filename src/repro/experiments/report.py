@@ -1,0 +1,52 @@
+"""Plain-text rendering for experiment results: aligned tables and
+horizontal bar charts (the closest a terminal gets to the paper's
+figures)."""
+
+
+def format_table(headers, rows, title=None):
+    """Render rows (lists of cells) as an aligned text table."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_bar_chart(entries, title=None, width=50):
+    """Render (label, value) pairs as a horizontal bar chart."""
+    if not entries:
+        return title or ""
+    peak = max(value for __, value in entries) or 1
+    label_width = max(len(label) for label, __ in entries)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in entries:
+        bar = "#" * max(1, int(round(width * value / peak)))
+        lines.append("%s  %s %s"
+                     % (label.ljust(label_width), bar, _fmt(value)))
+    return "\n".join(lines)
+
+
+def format_grid(values, row_labels, col_labels, title=None):
+    """Render a 2-D dict ``values[(row, col)]`` as a matrix table."""
+    headers = [""] + [str(c) for c in col_labels]
+    rows = []
+    for row in row_labels:
+        rows.append([str(row)] + [values.get((row, col), "")
+                                  for col in col_labels])
+    return format_table(headers, rows, title=title)
+
+
+def _fmt(cell):
+    if isinstance(cell, float):
+        return "%.2f" % cell
+    return str(cell)

@@ -1,0 +1,86 @@
+"""Shared experiment runner with compile and simulation caching."""
+
+from dataclasses import dataclass, field
+
+from ..compiler import compile_program
+from ..errors import ReproError
+from ..isa.operations import UnitClass
+from ..machine import baseline
+from ..programs import get_benchmark
+from ..sim import run_program
+
+
+@dataclass
+class RunResult:
+    """One benchmark x mode x machine simulation."""
+
+    benchmark: str
+    mode: str
+    config: object
+    cycles: int
+    utilization: dict               # UnitClass -> ops/cycle
+    stats: object
+    compiled: object
+    sim: object
+    verified: bool
+
+    @property
+    def fpu_util(self):
+        return self.utilization[UnitClass.FPU]
+
+    @property
+    def iu_util(self):
+        return self.utilization[UnitClass.IU]
+
+
+class Harness:
+    """Caches compilations (per machine signature) and simulations so
+    the table/figure generators can share runs."""
+
+    def __init__(self, seed=1, check=True, max_cycles=5_000_000):
+        self.seed = seed
+        self.check = check
+        self.max_cycles = max_cycles
+        self._compiled = {}
+        self._runs = {}
+        self._inputs = {}
+
+    def inputs_for(self, benchmark):
+        if benchmark not in self._inputs:
+            self._inputs[benchmark] = \
+                get_benchmark(benchmark).make_inputs(self.seed)
+        return self._inputs[benchmark]
+
+    def compile(self, benchmark, mode, config):
+        key = (benchmark, mode, config.schedule_signature())
+        if key not in self._compiled:
+            bench = get_benchmark(benchmark)
+            self._compiled[key] = compile_program(bench.source(mode),
+                                                  config, mode=mode)
+        return self._compiled[key]
+
+    def run(self, benchmark, mode, config=None, tag=None):
+        config = config or baseline()
+        key = (benchmark, mode, tag if tag is not None
+               else (config.schedule_signature(),
+                     config.interconnect.scheme, config.memory.name,
+                     config.seed))
+        if key in self._runs:
+            return self._runs[key]
+        bench = get_benchmark(benchmark)
+        compiled = self.compile(benchmark, mode, config)
+        inputs = self.inputs_for(benchmark)
+        sim = run_program(compiled.program, config, overrides=inputs,
+                          max_cycles=self.max_cycles)
+        verified = True
+        if self.check:
+            problems = bench.check(sim, inputs)
+            if problems:
+                raise ReproError(
+                    "%s/%s on %s produced wrong results: %s"
+                    % (benchmark, mode, config.name, problems[:3]))
+        result = RunResult(benchmark, mode, config, sim.cycles,
+                           sim.stats.utilization_table(), sim.stats,
+                           compiled, sim, verified)
+        self._runs[key] = result
+        return result

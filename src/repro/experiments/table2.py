@@ -1,0 +1,74 @@
+"""Table 2 / Figure 4: baseline cycle counts and FPU/IU utilization for
+the five machine modes on the four benchmarks."""
+
+from ..machine import baseline
+from ..programs.suite import BENCHMARK_ORDER
+from . import paper
+from .report import format_bar_chart, format_table
+from .runner import Harness
+
+
+def run(harness=None, config=None):
+    """Returns a list of row dicts in the paper's presentation order."""
+    harness = harness or Harness()
+    config = config or baseline()
+    rows = []
+    by_key = {}
+    for benchmark in BENCHMARK_ORDER:
+        from ..programs import get_benchmark
+        modes = [m for m in paper.MODE_ORDER
+                 if m in get_benchmark(benchmark).modes]
+        for mode in modes:
+            result = harness.run(benchmark, mode, config)
+            by_key[(benchmark, mode)] = result
+        coupled = by_key[(benchmark, "coupled")].cycles
+        for mode in modes:
+            result = by_key[(benchmark, mode)]
+            rows.append({
+                "benchmark": benchmark,
+                "mode": mode,
+                "cycles": result.cycles,
+                "vs_coupled": result.cycles / coupled,
+                "fpu_util": result.fpu_util,
+                "iu_util": result.iu_util,
+                "paper_cycles": paper.TABLE2_CYCLES.get((benchmark, mode)),
+                "paper_vs_coupled": _paper_ratio(benchmark, mode),
+            })
+    return rows
+
+
+def _paper_ratio(benchmark, mode):
+    cycles = paper.TABLE2_CYCLES.get((benchmark, mode))
+    coupled = paper.TABLE2_CYCLES.get((benchmark, "coupled"))
+    if cycles is None or coupled is None:
+        return None
+    return cycles / coupled
+
+
+def render(rows):
+    table_rows = []
+    for row in rows:
+        table_rows.append([
+            row["benchmark"], row["mode"], row["cycles"],
+            row["vs_coupled"], row["fpu_util"], row["iu_util"],
+            row["paper_cycles"] if row["paper_cycles"] is not None else "-",
+            row["paper_vs_coupled"]
+            if row["paper_vs_coupled"] is not None else "-",
+        ])
+    return format_table(
+        ["benchmark", "mode", "cycles", "vs coupled", "FPU", "IU",
+         "paper cycles", "paper vs coupled"],
+        table_rows,
+        title="Table 2: baseline cycle counts (utilization = average "
+              "operations per cycle)")
+
+
+def render_figure4(rows):
+    """Figure 4 is Table 2's cycle counts as bar charts."""
+    sections = []
+    for benchmark in BENCHMARK_ORDER:
+        entries = [(row["mode"], row["cycles"]) for row in rows
+                   if row["benchmark"] == benchmark]
+        sections.append(format_bar_chart(
+            entries, title="Figure 4 — %s (cycles)" % benchmark))
+    return "\n\n".join(sections)

@@ -1,0 +1,106 @@
+"""Table 3: thread interference on the modified Model benchmark.
+
+Four Coupled-mode threads drain a shared queue of identical devices
+under strict-priority arbitration; the runtime cycles per device
+evaluation dilate relative to the compile-time schedule, and more so
+for lower-priority threads.  The STS run provides the single-thread
+baseline whose runtime matches its schedule.
+"""
+
+from ..compiler import compile_program
+from ..machine import baseline
+from ..programs import model
+from ..sim import run_program
+from . import paper
+
+
+def _loop_schedule_length(report):
+    """Compile-time schedule length of the drain loop: the words of the
+    blocks from the while header to its exit (block names are laid out
+    in order; 'h*' starts a loop header, 'x*' its exit)."""
+    names = list(report.block_words)
+    start = next((i for i, n in enumerate(names) if n.startswith("h")),
+                 None)
+    if start is None:
+        return report.words
+    end = next((i for i, n in enumerate(names[start:], start)
+                if n.startswith("x")), len(names))
+    return sum(report.block_words[n] for n in names[start:end])
+
+
+def run(config=None, qdev=model.QDEV, seed=1):
+    config = config or baseline()
+    inputs = model.make_inputs(seed=seed, ndev=qdev, identical=True)
+    rows = []
+    aggregate = {}
+
+    # Coupled: four workers share the queue.
+    compiled = compile_program(model.queue_source("coupled"), config,
+                               mode="coupled")
+    sim = run_program(compiled.program, config, overrides=inputs)
+    counts = sim.read_symbol("count")
+    worker_reports = [r for name, r in compiled.reports.items()
+                      if name.startswith("worker@")]
+    schedule = _loop_schedule_length(worker_reports[0])
+    workers = [t for t in sim.threads if t.name.startswith("worker@")]
+    workers.sort(key=lambda t: t.tid)
+    for position, thread in enumerate(workers, start=1):
+        devices = counts[position - 1]
+        busy = (thread.finish_cycle or sim.cycles) - thread.spawn_cycle
+        rows.append({
+            "mode": "coupled",
+            "thread": position,
+            "schedule": schedule,
+            "runtime_per_device": busy / devices if devices else
+            float("inf"),
+            "devices": devices,
+        })
+    aggregate["coupled_total"] = sim.cycles
+    aggregate["coupled_per_device"] = sim.cycles / qdev
+    expected = model.queue_reference(inputs, qdev=qdev)
+    got = sim.read_symbol("idev")
+    aggregate["verified"] = all(
+        abs(g - w) <= 1e-9 * max(1.0, abs(w))
+        for g, w in zip(got, expected["idev"]))
+
+    # STS: one thread drains the whole queue.
+    compiled_sts = compile_program(model.queue_source("sts"), config,
+                                   mode="sts")
+    sim_sts = run_program(compiled_sts.program, config, overrides=inputs)
+    schedule_sts = _loop_schedule_length(compiled_sts.reports["main"])
+    rows.insert(0, {
+        "mode": "sts",
+        "thread": 1,
+        "schedule": schedule_sts,
+        "runtime_per_device": sim_sts.cycles / qdev,
+        "devices": qdev,
+    })
+    aggregate["sts_total"] = sim_sts.cycles
+    return {"rows": rows, "aggregate": aggregate}
+
+
+def render(data):
+    from .report import format_table
+    table_rows = []
+    for row in data["rows"]:
+        key = (row["mode"], row["thread"])
+        published = paper.TABLE3.get(key, {})
+        table_rows.append([
+            row["mode"], row["thread"], row["schedule"],
+            row["runtime_per_device"], row["devices"],
+            published.get("schedule", "-"),
+            published.get("runtime", "-"),
+            published.get("devices", "-"),
+        ])
+    agg = data["aggregate"]
+    footer = ("aggregate: coupled %d cycles vs sts %d cycles "
+              "(paper: %d vs %d)"
+              % (agg["coupled_total"], agg["sts_total"],
+                 paper.TABLE3_AGGREGATE["coupled_total"],
+                 paper.TABLE3_AGGREGATE["sts_total"]))
+    return format_table(
+        ["mode", "thread", "schedule", "cycles/device", "devices",
+         "paper sched", "paper cyc/dev", "paper devices"],
+        table_rows,
+        title="Table 3: per-thread interference (priority arbitration)"
+    ) + "\n" + footer

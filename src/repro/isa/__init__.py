@@ -1,0 +1,15 @@
+"""Instruction-set layer: operands, opcodes, wide instruction words."""
+
+from .operands import Imm, Label, Reg, parse_operand, parse_reg
+from .operations import (MOVE_BY_UNIT, OpcodeSpec, UnitClass, all_opcodes,
+                         opcode)
+from .instruction import (DataSegment, InstructionWord, Operation, Program,
+                          SymbolSpec, ThreadProgram, parse_unit_id, unit_id)
+from . import asmtext
+
+__all__ = [
+    "Imm", "Label", "Reg", "parse_operand", "parse_reg",
+    "MOVE_BY_UNIT", "OpcodeSpec", "UnitClass", "all_opcodes", "opcode",
+    "DataSegment", "InstructionWord", "Operation", "Program", "SymbolSpec",
+    "ThreadProgram", "parse_unit_id", "unit_id", "asmtext",
+]

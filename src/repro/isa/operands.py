@@ -1,0 +1,70 @@
+"""Operand kinds used by machine operations.
+
+A processor-coupled node distributes each thread's register set over the
+clusters it uses, so a register operand names both a cluster and an index
+within that cluster's (per-thread) register file.  Immediates may appear
+in any source position; labels name instruction words within a thread.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Reg:
+    """A register in a particular cluster's register file.
+
+    The index is a *virtual* slot: the paper's compiler assumes an
+    infinite register supply and reports peak usage instead of spilling.
+    """
+
+    cluster: int
+    index: int
+
+    def __str__(self):
+        return "c%d.r%d" % (self.cluster, self.index)
+
+
+@dataclass(frozen=True, order=True)
+class Imm:
+    """An immediate operand (int or float literal)."""
+
+    value: object
+
+    def __str__(self):
+        return "#%r" % (self.value,)
+
+
+@dataclass(frozen=True, order=True)
+class Label:
+    """A symbolic branch target within a thread program."""
+
+    name: str
+
+    def __str__(self):
+        return self.name
+
+
+def is_source(operand):
+    """Return True for operands legal in a source position."""
+    return isinstance(operand, (Reg, Imm))
+
+
+def parse_reg(text):
+    """Parse ``cN.rM`` into a :class:`Reg`; raise ValueError otherwise."""
+    text = text.strip()
+    if not text.startswith("c") or ".r" not in text:
+        raise ValueError("not a register: %r" % text)
+    cluster_part, __, index_part = text[1:].partition(".r")
+    return Reg(int(cluster_part), int(index_part))
+
+
+def parse_operand(text):
+    """Parse a textual source operand (register or ``#imm``)."""
+    text = text.strip()
+    if text.startswith("#"):
+        literal = text[1:]
+        try:
+            return Imm(int(literal))
+        except ValueError:
+            return Imm(float(literal))
+    return parse_reg(text)

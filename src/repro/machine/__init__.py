@@ -1,0 +1,18 @@
+"""Machine descriptions: units, clusters, interconnect, memory, nodes."""
+
+from .units import FunctionUnitSpec, bru, fpu, iu, mem
+from .cluster import ClusterSpec, arithmetic_cluster, branch_cluster
+from .interconnect import (ALL_SCHEMES, CommScheme, InterconnectSpec,
+                           UNLIMITED)
+from .memory import MEMORY_MODELS, MemorySpec, mem1, mem2, min_memory
+from .config import (ARBITRATION_POLICIES, MachineConfig, UnitSlot, baseline,
+                     single_cluster, unit_mix)
+
+__all__ = [
+    "FunctionUnitSpec", "bru", "fpu", "iu", "mem",
+    "ClusterSpec", "arithmetic_cluster", "branch_cluster",
+    "ALL_SCHEMES", "CommScheme", "InterconnectSpec", "UNLIMITED",
+    "MEMORY_MODELS", "MemorySpec", "mem1", "mem2", "min_memory",
+    "ARBITRATION_POLICIES", "MachineConfig", "UnitSlot", "baseline",
+    "single_cluster", "unit_mix",
+]

@@ -1,0 +1,110 @@
+"""Unit interconnection network schemes (paper, "Restricting
+Communication").
+
+Writebacks from function units to register files travel over buses and
+enter through register-file write ports.  The five schemes simulated in
+the paper trade ports/buses (chip area) against cycle count:
+
+* **Full** — fully connected; no restriction on buses or ports.
+* **Tri-port** — each register file has three write ports: one used
+  locally by the cluster's own units, and two global ports, each with
+  its own bus, usable by units in other clusters.
+* **Dual-port** — like Tri-port with a single global port.
+* **Single-port** — a single write port per register file with its own
+  bus; local and remote writers contend for it, but writes to different
+  register files never interfere.
+* **Shared-bus** — one local port per register file plus one port on a
+  single *globally shared* bus: at most one remote write per cycle in
+  the whole machine.
+"""
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class CommScheme(Enum):
+    FULL = "full"
+    TRI_PORT = "tri-port"
+    DUAL_PORT = "dual-port"
+    SINGLE_PORT = "single-port"
+    SHARED_BUS = "shared-bus"
+
+    def __str__(self):
+        return self.value
+
+
+#: Unlimited capacity marker.
+UNLIMITED = None
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Per-cycle writeback capacities implied by a scheme.
+
+    ``local_ports``   - writes per cycle into a register file from its
+                        own cluster's units (None = unlimited).
+    ``global_ports``  - writes per cycle into a register file from
+                        remote clusters (None = unlimited).
+    ``combined_port`` - True when local and remote writers share the
+                        same port budget (Single-port).
+    ``machine_bus``   - total remote writes per cycle across the whole
+                        machine (None = unlimited); models Shared-bus.
+    """
+
+    scheme: CommScheme
+    local_ports: object = UNLIMITED
+    global_ports: object = UNLIMITED
+    combined_port: bool = False
+    machine_bus: object = UNLIMITED
+
+    @classmethod
+    def from_scheme(cls, scheme):
+        """Capacities per scheme.
+
+        A unit writing its own cluster's register file uses a dedicated
+        local path (the "port used locally within a cluster"), so the
+        local port never throttles except under Single-port, where the
+        *one* port really is shared by everyone.  The counted global
+        ports/buses constrain remote writers — matching the paper's
+        observation that Tri-port costs only ~4% over full connection
+        while Single-port and Shared-bus are dramatic.
+        """
+        scheme = CommScheme(scheme)
+        if scheme is CommScheme.FULL:
+            return cls(scheme)
+        if scheme is CommScheme.TRI_PORT:
+            return cls(scheme, local_ports=UNLIMITED, global_ports=2)
+        if scheme is CommScheme.DUAL_PORT:
+            return cls(scheme, local_ports=UNLIMITED, global_ports=1)
+        if scheme is CommScheme.SINGLE_PORT:
+            return cls(scheme, local_ports=1, global_ports=1,
+                       combined_port=True)
+        if scheme is CommScheme.SHARED_BUS:
+            return cls(scheme, local_ports=UNLIMITED, global_ports=1,
+                       machine_bus=1)
+        raise AssertionError("unhandled scheme %r" % scheme)
+
+    def relative_area(self, n_clusters, units_per_cluster):
+        """Rough interconnect+register-port area model from Section 4.
+
+        The fully connected scheme needs buses proportional to (number
+        of function units) x (number of clusters), plus matching ports;
+        restricted schemes need only their fixed port/bus counts.  The
+        paper quotes Tri-port at 28% of full connection for a four
+        cluster system; this model reproduces that ratio's magnitude.
+        """
+        full_cost = n_clusters * units_per_cluster * n_clusters
+        if self.scheme is CommScheme.FULL:
+            return 1.0
+        if self.scheme is CommScheme.SHARED_BUS:
+            ports = 2 * n_clusters
+            buses = 1 + n_clusters
+        else:
+            per_file = (self.local_ports or 0) + (self.global_ports or 0)
+            ports = per_file * n_clusters
+            buses = ((self.global_ports or 0) * n_clusters
+                     + n_clusters)
+        return (ports + buses) / float(full_cost + 2 * n_clusters)
+
+
+ALL_SCHEMES = tuple(CommScheme)

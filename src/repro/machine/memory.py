@@ -1,0 +1,71 @@
+"""Statistical memory-system model (paper, Section 3 and "Variable
+Memory Latency").
+
+The on-chip memory is modelled by a hit latency, a miss rate, and a
+uniformly distributed miss penalty; no bank conflicts are modelled (a
+memory operation can always access the necessary bank).  Every location
+carries a valid (presence) bit used by the synchronizing loads and
+stores of Table 1; operations whose precondition is not met are held in
+the memory system and reactivated when a later reference changes the
+bit (split-transaction protocol).
+
+The paper's three models:
+
+* **Min**  — single cycle latency for all references.
+* **Mem1** — single cycle hit latency, 5% miss rate, miss penalty
+  uniformly distributed between 20 and 100 cycles.
+* **Mem2** — like Mem1 with a 10% miss rate.
+"""
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """Parameters of the statistical memory model."""
+
+    name: str = "min"
+    hit_latency: int = 1
+    miss_rate: float = 0.0
+    miss_penalty_min: int = 0
+    miss_penalty_max: int = 0
+
+    def __post_init__(self):
+        if self.hit_latency < 1:
+            raise ConfigError("hit latency must be >= 1")
+        if not 0.0 <= self.miss_rate <= 1.0:
+            raise ConfigError("miss rate must be in [0, 1]")
+        if self.miss_penalty_min > self.miss_penalty_max:
+            raise ConfigError("miss penalty range is inverted")
+        if self.miss_rate > 0.0 and self.miss_penalty_max <= 0:
+            raise ConfigError("nonzero miss rate needs a penalty range")
+
+    def draw_latency(self, rng):
+        """Draw the access latency for one reference."""
+        if self.miss_rate > 0.0 and rng.random() < self.miss_rate:
+            penalty = rng.randint(self.miss_penalty_min,
+                                  self.miss_penalty_max)
+            return self.hit_latency + penalty
+        return self.hit_latency
+
+
+def min_memory():
+    """Paper's **Min** model."""
+    return MemorySpec("min")
+
+
+def mem1():
+    """Paper's **Mem1** model: 5% miss, 20-100 cycle penalty."""
+    return MemorySpec("mem1", miss_rate=0.05, miss_penalty_min=20,
+                      miss_penalty_max=100)
+
+
+def mem2():
+    """Paper's **Mem2** model: 10% miss, 20-100 cycle penalty."""
+    return MemorySpec("mem2", miss_rate=0.10, miss_penalty_min=20,
+                      miss_penalty_max=100)
+
+
+MEMORY_MODELS = {"min": min_memory, "mem1": mem1, "mem2": mem2}

@@ -1,0 +1,45 @@
+"""Function-unit descriptions.
+
+A function unit may be generic (integer ALU) or specialized (floating
+point, memory access, branch calculation) and may be pipelined to
+arbitrary depth (paper Section 2).  ``latency`` is the number of cycles
+between issue and writeback; every unit accepts one operation per cycle.
+"""
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..isa.operations import UnitClass
+
+
+@dataclass(frozen=True)
+class FunctionUnitSpec:
+    """Static parameters of one function unit."""
+
+    kind: UnitClass
+    latency: int = 1
+
+    def __post_init__(self):
+        if self.latency < 1:
+            raise ConfigError("unit latency must be >= 1, got %d"
+                              % self.latency)
+
+
+def iu(latency=1):
+    """An integer unit."""
+    return FunctionUnitSpec(UnitClass.IU, latency)
+
+
+def fpu(latency=1):
+    """A floating point unit."""
+    return FunctionUnitSpec(UnitClass.FPU, latency)
+
+
+def mem(latency=1):
+    """A memory unit (also performs address arithmetic)."""
+    return FunctionUnitSpec(UnitClass.MEM, latency)
+
+
+def bru(latency=1):
+    """A branch calculation unit."""
+    return FunctionUnitSpec(UnitClass.BRU, latency)

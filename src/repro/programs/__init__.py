@@ -1,0 +1,12 @@
+"""The paper's benchmark suite: Matrix, FFT, LUD, and Model.
+
+Each module exposes ``source(mode, ...)`` returning mini-language text
+for the requested simulation mode, ``make_inputs(seed)`` returning the
+memory overrides, and ``reference(inputs)`` computing the expected
+outputs in plain Python with the exact operation order of the source
+program, so compiled results can be compared bit for bit.
+"""
+
+from .suite import BENCHMARKS, Benchmark, get_benchmark, scaled
+
+__all__ = ["BENCHMARKS", "Benchmark", "get_benchmark", "scaled"]

@@ -1,0 +1,210 @@
+"""FFT: decimation-in-time FFT of complex numbers (paper: 32 points).
+
+A *sequential* data-movement routine places the input vector in
+bit-flipped order (this is the benchmark's serial section — the reason
+TPE loses to STS in the paper's Table 2), followed by log2(N) butterfly
+stages.  Threaded variants execute the butterflies of one stage
+concurrently with NW worker threads, joining between stages; the ideal
+variant unrolls everything into a single static block.
+
+Twiddle factors (cos/sin) arrive as input arrays: the mini-language has
+no transcendental operations, matching the paper's machine which has
+none either.
+
+All entry points take ``n`` (any power of two >= 4; the paper's size,
+32, is the default).
+"""
+
+import math
+import random
+
+N = 32
+NW = 4              # stage worker threads in the threaded variants
+
+
+def _logn(n):
+    log = n.bit_length() - 1
+    if n < 4 or (1 << log) != n:
+        raise ValueError("fft size must be a power of two >= 4, got %r"
+                         % n)
+    return log
+
+
+def _prelude(n):
+    return """
+  (const N {n})
+  (const LOGN {logn})
+  (const HALF {half})
+  (global xre N)
+  (global xim N)
+  (global re N)
+  (global im N)
+  (global wr HALF)
+  (global wi HALF)
+""".format(n=n, logn=_logn(n), half=n // 2)
+
+
+# The sequential data-movement routine: computes each bit-flipped index
+# arithmetically and scatters the input vector.  Hand-unrolled by four
+# so a wide machine can overlap the independent reversal chains — but a
+# thread confined to one cluster (SEQ, or TPE's main thread) cannot,
+# which is exactly why the paper's FFT punishes TPE.
+_BITREV_LOOP = """
+    (for (i 0 N 4)
+      (unroll (u 0 4)
+        (let ((x (+ i u)) (r 0))
+          (unroll (b 0 LOGN)
+            (set! r (| (<< r 1) (& x 1)))
+            (set! x (>> x 1)))
+          (aset! re r (aref xre (+ i u)))
+          (aset! im r (aref xim (+ i u))))))
+"""
+
+# One butterfly at indices i0/i1 with twiddle index k.
+_BUTTERFLY = """
+          (let ((wre (aref wr k)) (wim (aref wi k))
+                (re1 (aref re i1)) (im1 (aref im i1)))
+            (let ((tr (- (* wre re1) (* wim im1)))
+                  (ti (+ (* wre im1) (* wim re1)))
+                  (re0 (aref re i0)) (im0 (aref im i0)))
+              (aset! re i1 (- re0 tr))
+              (aset! im i1 (- im0 ti))
+              (aset! re i0 (+ re0 tr))
+              (aset! im i0 (+ im0 ti))))
+"""
+
+
+def _single(n, ideal):
+    logn = _logn(n)
+    half = n // 2
+    if ideal:
+        stage_code = []
+        for s in range(logn):
+            h = 1 << s
+            m = h * 2
+            step = half // h
+            for idx in range(half):
+                blk, j = divmod(idx, h)
+                i0 = blk * m + j
+                stage_code.append("""
+        (let ((i0 %d) (i1 %d) (k %d))
+%s)""" % (i0, i0 + h, j * step, _BUTTERFLY))
+        stages = "\n".join(stage_code)
+        bitrev = "\n".join(
+            "    (begin (aset! re %d (aref xre %d)) "
+            "(aset! im %d (aref xim %d)))"
+            % (_bit_reverse(i, logn), i, _bit_reverse(i, logn), i)
+            for i in range(n))
+    else:
+        # Per-stage loops with constant h/m/step and the butterfly
+        # loop hand-unrolled by two (the pairs are provably disjoint,
+        # so a wide machine can overlap them — SEQ cannot).
+        stage_code = []
+        for s in range(logn):
+            h = 1 << s
+            m = h * 2
+            step = half >> s
+            if h == 1:
+                stage_code.append("""
+    (for (b 0 N %d)
+      (unroll (u 0 2)
+        (let ((i0 (+ b (* u %d))) (i1 (+ (+ b (* u %d)) %d)) (k 0))
+%s)))""" % (2 * m, m, m, h, _BUTTERFLY))
+            else:
+                stage_code.append("""
+    (for (b 0 N %d)
+      (for (j 0 %d 2)
+        (unroll (u 0 2)
+          (let ((i0 (+ (+ b j) u)) (i1 (+ (+ (+ b j) u) %d))
+                (k (* (+ j u) %d)))
+%s))))""" % (m, h, h, step, _BUTTERFLY))
+        stages = "\n".join(stage_code)
+        bitrev = _BITREV_LOOP
+    return """
+(program
+%s
+  (main
+%s
+%s))
+""" % (_prelude(n), bitrev, stages)
+
+
+def _threaded(n):
+    return """
+(program
+%s
+  (const NW {nw})
+  (global done NW :int :empty)
+  (kernel bfw (t h m step)
+    (let ((idx t))
+      (while (< idx HALF)
+        (let ((blk (/ idx h)) (j (mod idx h)))
+          (let ((i0 (+ (* blk m) j)) (i1 (+ (+ (* blk m) j) h))
+                (k (* j step)))
+%s))
+        (set! idx (+ idx NW))))
+    (aset-ef! done t 1))
+  (main
+%s
+    (for (s 0 LOGN)
+      (let ((h (<< 1 s)) (m (<< 1 (+ s 1))) (step (>> HALF s)))
+        (unroll (t 0 NW) (fork (bfw t h m step)))
+        (unroll (t 0 NW) (sync (aref-fe done t)))))))
+""".format(nw=NW) % (_prelude(n), _BUTTERFLY, _BITREV_LOOP)
+
+
+def source(mode, n=N):
+    if mode in ("seq", "sts"):
+        return _single(n, ideal=False)
+    if mode == "ideal":
+        return _single(n, ideal=True)
+    if mode in ("tpe", "coupled"):
+        return _threaded(n)
+    raise ValueError("fft has no %r variant" % mode)
+
+
+MODES = ("seq", "sts", "ideal", "tpe", "coupled")
+OUTPUT_SYMBOLS = ("re", "im")
+
+
+def _bit_reverse(value, bits):
+    result = 0
+    for __ in range(bits):
+        result = (result << 1) | (value & 1)
+        value >>= 1
+    return result
+
+
+def make_inputs(seed=1, n=N):
+    rng = random.Random(seed)
+    return {
+        "xre": [rng.uniform(-1.0, 1.0) for __ in range(n)],
+        "xim": [rng.uniform(-1.0, 1.0) for __ in range(n)],
+        "wr": [math.cos(-2.0 * math.pi * k / n) for k in range(n // 2)],
+        "wi": [math.sin(-2.0 * math.pi * k / n) for k in range(n // 2)],
+    }
+
+
+def reference(inputs, n=N):
+    """Expected spectrum, replicating the source's butterfly order."""
+    logn = _logn(n)
+    half = n // 2
+    re = [0.0] * n
+    im = [0.0] * n
+    for i in range(n):
+        re[_bit_reverse(i, logn)] = inputs["xre"][i]
+        im[_bit_reverse(i, logn)] = inputs["xim"][i]
+    wr = inputs["wr"]
+    wi = inputs["wi"]
+    for s in range(logn):
+        h = 1 << s
+        m = h * 2
+        step = half >> s
+        for b in range(0, n, m):
+            for j in range(h):
+                i0, i1, k = b + j, b + j + h, j * step
+                tr = wr[k] * re[i1] - wi[k] * im[i1]
+                ti = wr[k] * im[i1] + wi[k] * re[i1]
+                re[i1], im[i1] = re[i0] - tr, im[i0] - ti
+                re[i0], im[i0] = re[i0] + tr, im[i0] + ti
+    return {"re": re, "im": im}

@@ -1,0 +1,168 @@
+"""LUD: sparse LU decomposition (paper Section 4).
+
+Solves the factorization step for a sparse system whose matrix is the
+64x64 adjacency-structured matrix of an 8x8 mesh (a diagonally dominant
+mesh Laplacian, so no pivoting is needed).  Elimination stays within
+the mesh bandwidth; whether a target row is updated depends on the data
+(the ``aik != 0`` test), which is why the paper has no ideal variant.
+
+Following the paper's phrasing ("after selecting a source row"), each
+step first copies the pivot row's band into a scratch array; target-row
+updates then read only the scratch row, and the hand-unrolled (x4)
+update loop schedules its independent iterations in parallel.
+
+The threaded variants update all target rows concurrently: NW worker
+threads take the rows below the pivot in a strided fashion (the
+benchmark programs are written to divide work evenly among the
+clusters) and join through empty flags before the next step.
+"""
+
+import random
+
+MESH = 8
+N = MESH * MESH
+BAND = MESH           # elimination bandwidth of a row-major mesh ordering
+NW = 4
+
+# One update of A[i][k+1+u] -= l * rowk[u]; branch-free so unrolled
+# copies schedule in parallel.
+_JSTEP = """
+  (kernel jstep (i j1 u (l :float))
+    (aset! A (+ (+ (* i {n}) j1) u)
+           (- (aref A (+ (+ (* i {n}) j1) u)) (* l (aref rowk u)))))
+"""
+
+# Update one target row i (runs under "aik != 0").
+_ROW_UPDATE = """
+  (kernel rowupd (k i width (pivot :float))
+    (let ((aik (aref A (+ (* i {n}) k))))
+      (if (!= aik 0.0)
+        (let ((l (/ aik pivot)) (j1 (+ k 1)))
+          (aset! A (+ (* i {n}) k) l)
+          (let ((u 0) (w4 (- width 3)))
+            (while (< u w4)
+              (call jstep i j1 u l)
+              (call jstep i j1 (+ u 1) l)
+              (call jstep i j1 (+ u 2) l)
+              (call jstep i j1 (+ u 3) l)
+              (set! u (+ u 4)))
+            (while (< u width)
+              (call jstep i j1 u l)
+              (set! u (+ u 1))))))))
+"""
+
+# Copy the source row's band into the scratch array (sequential).
+_COPY_ROW = """
+  (kernel copyrow (k width)
+    (for (u 0 width)
+      (aset! rowk u (aref A (+ (+ (* k {n}) k) (+ u 1))))))
+"""
+
+
+def _prelude(n, band):
+    return """
+  (const N {n})
+  (const B {band})
+  (const NW {nw})
+  (global A (* N N))
+  (global rowk B)
+""".format(n=n, band=band, nw=NW)
+
+
+def _single(n, band):
+    return """
+(program
+%s
+%s
+%s
+%s
+  (main
+    (for (k 0 (- N 1))
+      (let ((width (- (min (+ (+ k B) 1) N) (+ k 1)))
+            (imax (min (+ (+ k B) 1) N))
+            (pivot (aref A (+ (* k %d) k))))
+        (call copyrow k width)
+        (for (i (+ k 1) imax)
+          (call rowupd k i width pivot))))))
+""" % (_prelude(n, band), _JSTEP.format(n=n), _ROW_UPDATE.format(n=n),
+       _COPY_ROW.format(n=n), n)
+
+
+def _threaded(n, band):
+    return """
+(program
+%s
+  (global done NW :int :empty)
+%s
+%s
+%s
+  (kernel upd (k t width imax (pivot :float))
+    (let ((i (+ (+ k 1) t)))
+      (while (< i imax)
+        (call rowupd k i width pivot)
+        (set! i (+ i NW))))
+    (aset-ef! done t 1))
+  (main
+    (for (k 0 (- N 1))
+      (let ((width (- (min (+ (+ k B) 1) N) (+ k 1)))
+            (imax (min (+ (+ k B) 1) N))
+            (pivot (aref A (+ (* k %d) k))))
+        (call copyrow k width)
+        (unroll (t 0 NW) (fork (upd k t width imax pivot)))
+        (unroll (t 0 NW) (sync (aref-fe done t)))))))
+""" % (_prelude(n, band), _JSTEP.format(n=n), _ROW_UPDATE.format(n=n),
+       _COPY_ROW.format(n=n), n)
+
+
+def source(mode, n=N, band=BAND):
+    if mode in ("seq", "sts"):
+        return _single(n, band)
+    if mode in ("tpe", "coupled"):
+        return _threaded(n, band)
+    raise ValueError("lud has no %r variant (data-dependent control "
+                     "cannot be statically scheduled)" % mode)
+
+
+MODES = ("seq", "sts", "tpe", "coupled")
+OUTPUT_SYMBOLS = ("A",)
+
+
+def make_inputs(seed=1, mesh=MESH):
+    """A diagonally dominant mesh matrix: the 8x8 mesh's Laplacian plus
+    a small random perturbation (keeps entries exactly zero off the
+    mesh structure, so the zero tests exercise real sparsity)."""
+    rng = random.Random(seed)
+    n = mesh * mesh
+    a = [0.0] * (n * n)
+
+    def node(r, c):
+        return r * mesh + c
+
+    for r in range(mesh):
+        for c in range(mesh):
+            me = node(r, c)
+            for dr, dc in ((0, 1), (0, -1), (1, 0), (-1, 0)):
+                nr, nc = r + dr, c + dc
+                if 0 <= nr < mesh and 0 <= nc < mesh:
+                    a[me * n + node(nr, nc)] = -1.0 - rng.uniform(0.0, 0.25)
+            a[me * n + me] = 5.0 + rng.uniform(0.0, 1.0)
+    return {"A": a}
+
+
+def reference(inputs, n=N, band=BAND):
+    """Expected in-place LU factors, mirroring the source exactly."""
+    a = list(inputs["A"])
+    for k in range(n - 1):
+        jmax = min(k + band + 1, n)
+        width = jmax - (k + 1)
+        pivot = a[k * n + k]
+        rowk = [a[k * n + k + 1 + u] for u in range(width)]
+        for i in range(k + 1, jmax):
+            aik = a[i * n + k]
+            if aik != 0.0:
+                l = aik / pivot
+                a[i * n + k] = l
+                for u in range(width):
+                    index = i * n + (k + 1) + u
+                    a[index] = a[index] - l * rowk[u]
+    return {"A": a}

@@ -1,0 +1,91 @@
+"""Matrix: 9x9 floating point matrix multiply (paper Section 4).
+
+The inner (k) loop is unrolled completely in every variant.  The
+threaded versions execute all iterations of the outer (i) loop in
+parallel, one thread per result row, joined through an initially-empty
+flag array.  The ideal version has *all* loops unrolled, so the entire
+computation is one statically scheduled block.
+"""
+
+import random
+
+N = 9
+
+_BODY = """
+      (let ((s 0.0))
+        (unroll (k 0 {n})
+          (set! s (+ s (* (aref A (+ (* i {n}) k))
+                          (aref B (+ (* k {n}) j))))))
+        (aset! C (+ (* i {n}) j) s))
+"""
+
+
+def _single(loop_head_i, loop_head_j, n):
+    return """
+(program
+  (const N {n})
+  (global A (* N N))
+  (global B (* N N))
+  (global C (* N N))
+  (main
+    ({head_i} (i 0 {n})
+      ({head_j} (j 0 {n})
+{body}))))
+""".format(n=n, head_i=loop_head_i, head_j=loop_head_j,
+           body=_BODY.format(n=n))
+
+
+def _threaded(n):
+    return """
+(program
+  (const N {n})
+  (global A (* N N))
+  (global B (* N N))
+  (global C (* N N))
+  (global done N :int :empty)
+  (kernel row (i)
+    (for (j 0 {n})
+{body})
+    (aset-ef! done i 1))
+  (main
+    (forall (i 0 {n}) (row i))
+    (for (i 0 {n})
+      (sync (aref-ff done i)))))
+""".format(n=n, body=_BODY.format(n=n))
+
+
+def source(mode, n=N):
+    """Mini-language source for the given simulation mode."""
+    if mode in ("seq", "sts"):
+        return _single("for", "for", n)
+    if mode == "ideal":
+        return _single("unroll", "unroll", n)
+    if mode in ("tpe", "coupled"):
+        return _threaded(n)
+    raise ValueError("matrix has no %r variant" % mode)
+
+
+MODES = ("seq", "sts", "ideal", "tpe", "coupled")
+OUTPUT_SYMBOLS = ("C",)
+
+
+def make_inputs(seed=1, n=N):
+    rng = random.Random(seed)
+    return {
+        "A": [rng.uniform(-1.0, 1.0) for __ in range(n * n)],
+        "B": [rng.uniform(-1.0, 1.0) for __ in range(n * n)],
+    }
+
+
+def reference(inputs, n=N):
+    """Expected outputs, with the source program's accumulation order."""
+    a = inputs["A"]
+    b = inputs["B"]
+    c = [0.0] * (n * n)
+    for i in range(n):
+        for j in range(n):
+            s = 0.0
+            for k in range(n):
+                s = s + a[i * n + k] * b[k * n + j]
+            c[i * n + j] = s
+    return {"C": c}

@@ -1,0 +1,257 @@
+"""Model: circuit model evaluator (paper Section 4 and Table 3).
+
+Computes the change in current for each node of a 20-device CMOS
+operational amplifier based on previous node voltages, using a level-1
+MOSFET equation with cutoff / linear / saturation regions (data
+dependent control, memory dominated, little ILP — exactly the paper's
+characterization).  A master loop re-evaluates all devices and then
+applies a relaxation update to the node voltages.
+
+The threaded variant creates a new thread to evaluate each device on
+each iteration of the master loop.
+
+``queue_source`` builds the *interference* variant of Table 3: four
+worker threads share a priority queue of identical devices through
+synchronizing memory accesses (``aref-fe``/``aset!`` implement the
+atomic take/put), so the runtime dilation of each thread's compile-time
+schedule and the per-thread share of evaluations can be measured.
+"""
+
+import random
+
+NDEV = 20
+NNODE = 12
+NITER = 2
+STEP = 0.05
+NW = 4                 # workers in the Table 3 queue variant
+QDEV = 20              # devices drained from the queue in Table 3
+
+_DEVICE_KERNEL = """
+  (kernel dev (d)
+    (let ((vg (aref v (aref gate d)))
+          (vd (aref v (aref drain d)))
+          (vs (aref v (aref src d)))
+          (p (aref pol d))
+          (K (aref kp d))
+          (VT (aref vt d))
+          (L (aref la d)))
+      (let ((vgs (* p (- vg vs))) (vds (* p (- vd vs))))
+        (let ((vov (- vgs VT)))
+          (let ((cur (if (<= vov 0.0)
+                         0.0
+                         (if (< vds vov)
+                             (* K (- (* vov vds) (* (* 0.5 vds) vds)))
+                             (* (* (* 0.5 K) (* vov vov))
+                                (+ 1.0 (* L vds)))))))
+            (aset! idev d (* p cur)))))))
+"""
+
+_UPDATE_KERNEL = """
+  (kernel update ()
+    (for (n 0 NNODE)
+      (aset! inode n 0.0))
+    (for (d 0 NDEV)
+      (let ((cur (aref idev d)))
+        (aset! inode (aref drain d) (- (aref inode (aref drain d)) cur))
+        (aset! inode (aref src d) (+ (aref inode (aref src d)) cur))))
+    (for (n 0 NFREE)
+      (aset! v n (+ (aref v n) (* {step} (aref inode n))))))
+"""
+
+_GLOBALS = """
+  (const NDEV {ndev})
+  (const NNODE {nnode})
+  (const NFREE {nfree})
+  (global v NNODE)
+  (global inode NNODE)
+  (global idev NDEV)
+  (global gate NDEV :int)
+  (global drain NDEV :int)
+  (global src NDEV :int)
+  (global pol NDEV)
+  (global kp NDEV)
+  (global vt NDEV)
+  (global la NDEV)
+"""
+
+
+def _prelude(ndev=NDEV, nnode=NNODE):
+    # The last two nodes are the supply rails; they stay fixed.
+    return _GLOBALS.format(ndev=ndev, nnode=nnode, nfree=nnode - 2)
+
+
+def _single(niter):
+    return """
+(program
+%s
+%s
+%s
+  (main
+    (for (it 0 %d)
+      (for (d 0 NDEV)
+        (call dev d))
+      (call update))))
+""" % (_prelude(), _DEVICE_KERNEL, _UPDATE_KERNEL.format(step=STEP), niter)
+
+
+def _threaded(niter):
+    return """
+(program
+%s
+  (global done NDEV :int :empty)
+%s
+%s
+  (kernel devt (d)
+    (call dev d)
+    (aset-ef! done d 1))
+  (main
+    (for (it 0 %d)
+      (forall (d 0 NDEV) (devt d))
+      (for (d 0 NDEV)
+        (sync (aref-fe done d)))
+      (call update))))
+""" % (_prelude(), _DEVICE_KERNEL, _UPDATE_KERNEL.format(step=STEP), niter)
+
+
+def source(mode, niter=NITER):
+    if mode in ("seq", "sts"):
+        return _single(niter)
+    if mode in ("tpe", "coupled"):
+        return _threaded(niter)
+    raise ValueError("model has no %r variant (data-dependent control "
+                     "cannot be statically scheduled)" % mode)
+
+
+MODES = ("seq", "sts", "tpe", "coupled")
+OUTPUT_SYMBOLS = ("idev", "v")
+
+
+# --- Table 3 variant ---------------------------------------------------------
+
+def queue_source(mode, qdev=QDEV):
+    """The modified Model benchmark of Table 3: a shared queue of
+    identical devices.  ``mode`` selects four workers (coupled/tpe) or a
+    single inline drain loop (seq/sts)."""
+    worker_loop = """
+    (let ((run 1))
+      (while run
+        (let ((idx (aref-fe Q 0)))
+          (aset! Q 0 (+ idx 1))
+          (if (< idx %d)
+              (begin
+                (call dev idx)
+                (aset! owner idx t)
+                (aset! count t (+ (aref count t) 1)))
+              (set! run 0)))))""" % qdev
+    if mode in ("tpe", "coupled"):
+        return """
+(program
+%s
+  (const NW %d)
+  (global Q 1 :int)
+  (global owner %d :int)
+  (global count NW :int)
+  (global donew NW :int :empty)
+%s
+  (kernel worker (t)
+%s
+    (aset-ef! donew t 1))
+  (main
+    (unroll (t 0 NW) (fork (worker t)))
+    (unroll (t 0 NW) (sync (aref-ff donew t)))))
+""" % (_prelude(ndev=qdev), NW, qdev, _DEVICE_KERNEL, worker_loop)
+    return """
+(program
+%s
+  (const NW %d)
+  (global Q 1 :int)
+  (global owner %d :int)
+  (global count NW :int)
+%s
+  (main
+    (let ((t 0))
+%s)))
+""" % (_prelude(ndev=qdev), NW, qdev, _DEVICE_KERNEL, worker_loop)
+
+
+# --- inputs and reference -----------------------------------------------------
+
+def make_inputs(seed=1, ndev=NDEV, nnode=NNODE, identical=False):
+    """A synthetic 20-device two-stage CMOS op-amp netlist: differential
+    pair + current mirrors + output stage, with randomized operating
+    point.  ``identical`` builds Table 3's input (identical devices at
+    the same operating point)."""
+    rng = random.Random(seed)
+    vdd_node = nnode - 1
+    vss_node = nnode - 2
+    gate, drain, src, pol, kp, vt, la = [], [], [], [], [], [], []
+    for d in range(ndev):
+        if identical:
+            gate.append(0)
+            drain.append(1)
+            src.append(vss_node)
+            pol.append(1.0)
+            kp.append(2.0e-4)
+            vt.append(0.7)
+            la.append(0.02)
+            continue
+        is_pmos = d % 3 == 0
+        pol.append(-1.0 if is_pmos else 1.0)
+        gate.append(rng.randrange(0, nnode - 2))
+        if is_pmos:
+            src.append(vdd_node)
+            drain.append(rng.randrange(0, nnode - 2))
+        else:
+            src.append(vss_node if d % 2 else rng.randrange(0, nnode - 2))
+            drain.append(rng.randrange(0, nnode - 2))
+        kp.append(rng.uniform(1.0e-4, 4.0e-4))
+        vt.append(rng.uniform(0.5, 0.9))
+        la.append(rng.uniform(0.01, 0.05))
+    voltages = [rng.uniform(0.5, 4.5) for __ in range(nnode)]
+    voltages[vss_node] = 0.0
+    voltages[vdd_node] = 5.0
+    return {
+        "v": voltages, "gate": gate, "drain": drain, "src": src,
+        "pol": pol, "kp": kp, "vt": vt, "la": la,
+    }
+
+
+def _eval_device(inputs, voltages, d):
+    p = inputs["pol"][d]
+    vg = voltages[inputs["gate"][d]]
+    vd = voltages[inputs["drain"][d]]
+    vs = voltages[inputs["src"][d]]
+    vgs = p * (vg - vs)
+    vds = p * (vd - vs)
+    vov = vgs - inputs["vt"][d]
+    k = inputs["kp"][d]
+    if vov <= 0.0:
+        cur = 0.0
+    elif vds < vov:
+        cur = k * (vov * vds - (0.5 * vds) * vds)
+    else:
+        cur = ((0.5 * k) * (vov * vov)) * (1.0 + inputs["la"][d] * vds)
+    return p * cur
+
+
+def reference(inputs, ndev=NDEV, nnode=NNODE, niter=NITER):
+    """Expected idev/v after the master loop, replicating the source."""
+    voltages = list(inputs["v"])
+    idev = [0.0] * ndev
+    for __ in range(niter):
+        for d in range(ndev):
+            idev[d] = _eval_device(inputs, voltages, d)
+        inode = [0.0] * nnode
+        for d in range(ndev):
+            inode[inputs["drain"][d]] -= idev[d]
+            inode[inputs["src"][d]] += idev[d]
+        for n in range(nnode - 2):
+            voltages[n] = voltages[n] + STEP * inode[n]
+    return {"idev": idev, "v": voltages}
+
+
+def queue_reference(inputs, qdev=QDEV):
+    """Expected idev for the queue variant (evaluations only)."""
+    voltages = list(inputs["v"])
+    return {"idev": [_eval_device(inputs, voltages, d)
+                     for d in range(qdev)]}

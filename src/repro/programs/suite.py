@@ -1,0 +1,112 @@
+"""Benchmark registry used by tests and the experiment harness."""
+
+from dataclasses import dataclass, field
+
+from . import fft, lud, matrix, model
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """Uniform adapter over one benchmark module."""
+
+    name: str
+    modes: tuple
+    output_symbols: tuple
+    _source: object = field(repr=False, default=None)
+    _make_inputs: object = field(repr=False, default=None)
+    _reference: object = field(repr=False, default=None)
+
+    def source(self, mode):
+        return self._source(mode)
+
+    def make_inputs(self, seed=1):
+        return self._make_inputs(seed)
+
+    def reference(self, inputs):
+        return self._reference(inputs)
+
+    def check(self, result, inputs, rtol=1e-9, atol=1e-12):
+        """Compare a SimResult/InterpResult against the reference;
+        returns a list of mismatch descriptions (empty = pass)."""
+        expected = self.reference(inputs)
+        problems = []
+        for symbol in self.output_symbols:
+            got = result.read_symbol(symbol)
+            want = expected[symbol]
+            if len(got) != len(want):
+                problems.append("%s: length %d != %d"
+                                % (symbol, len(got), len(want)))
+                continue
+            for index, (g, w) in enumerate(zip(got, want)):
+                if abs(g - w) > atol + rtol * abs(w):
+                    problems.append("%s[%d]: got %r want %r"
+                                    % (symbol, index, g, w))
+                    if len(problems) > 5:
+                        return problems
+        return problems
+
+
+BENCHMARKS = {
+    "matrix": Benchmark("matrix", matrix.MODES, matrix.OUTPUT_SYMBOLS,
+                        matrix.source, matrix.make_inputs,
+                        matrix.reference),
+    "fft": Benchmark("fft", fft.MODES, fft.OUTPUT_SYMBOLS,
+                     fft.source, fft.make_inputs, fft.reference),
+    "lud": Benchmark("lud", lud.MODES, lud.OUTPUT_SYMBOLS,
+                     lud.source, lud.make_inputs, lud.reference),
+    "model": Benchmark("model", model.MODES, model.OUTPUT_SYMBOLS,
+                       model.source, model.make_inputs, model.reference),
+}
+
+#: Display order used throughout the paper's tables.
+BENCHMARK_ORDER = ("matrix", "fft", "model", "lud")
+
+
+def get_benchmark(name):
+    try:
+        return BENCHMARKS[name]
+    except KeyError:
+        raise KeyError("unknown benchmark %r (have: %s)"
+                       % (name, ", ".join(sorted(BENCHMARKS))))
+
+
+def scaled(name, **params):
+    """A size-parameterized variant of a benchmark.
+
+    ``matrix``: ``n`` (matrix dimension); ``fft``: ``n`` (points, power
+    of two); ``lud``: ``mesh`` (grid side); ``model``: ``niter``
+    (master-loop iterations).  Defaults are the paper's sizes.
+    """
+    if name == "matrix":
+        n = params.pop("n", matrix.N)
+        spec = (lambda mode: matrix.source(mode, n),
+                lambda seed=1: matrix.make_inputs(seed, n),
+                lambda inputs: matrix.reference(inputs, n),
+                matrix.MODES, matrix.OUTPUT_SYMBOLS)
+    elif name == "fft":
+        n = params.pop("n", fft.N)
+        spec = (lambda mode: fft.source(mode, n),
+                lambda seed=1: fft.make_inputs(seed, n),
+                lambda inputs: fft.reference(inputs, n),
+                fft.MODES, fft.OUTPUT_SYMBOLS)
+    elif name == "lud":
+        mesh = params.pop("mesh", lud.MESH)
+        n, band = mesh * mesh, mesh
+        spec = (lambda mode: lud.source(mode, n, band),
+                lambda seed=1: lud.make_inputs(seed, mesh),
+                lambda inputs: lud.reference(inputs, n, band),
+                lud.MODES, lud.OUTPUT_SYMBOLS)
+    elif name == "model":
+        niter = params.pop("niter", model.NITER)
+        spec = (lambda mode: model.source(mode, niter),
+                lambda seed=1: model.make_inputs(seed),
+                lambda inputs: model.reference(inputs, niter=niter),
+                model.MODES, model.OUTPUT_SYMBOLS)
+    else:
+        raise KeyError("unknown benchmark %r" % name)
+    if params:
+        raise TypeError("unknown parameters for %s: %s"
+                        % (name, sorted(params)))
+    source_fn, inputs_fn, reference_fn, modes, symbols = spec
+    return Benchmark(name, modes, symbols, source_fn, inputs_fn,
+                     reference_fn)

@@ -1,0 +1,19 @@
+"""Functional cycle simulator for processor-coupled nodes."""
+
+from .arbitration import PriorityArbiter, RoundRobinArbiter, make_arbiter
+from .function_unit import FunctionUnitState, WritebackEntry
+from .interconnect import WritebackNetwork
+from .loader import load_memory, validate_program
+from .memory import MemRequest, MemorySystem
+from .node import Node, SimResult, run_program
+from .registers import RegisterFrame
+from .stats import Stats
+from .thread import ThreadContext
+
+__all__ = [
+    "PriorityArbiter", "RoundRobinArbiter", "make_arbiter",
+    "FunctionUnitState", "WritebackEntry", "WritebackNetwork",
+    "load_memory", "validate_program", "MemRequest", "MemorySystem",
+    "Node", "SimResult", "run_program", "RegisterFrame", "Stats",
+    "ThreadContext",
+]

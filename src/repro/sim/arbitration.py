@@ -1,0 +1,44 @@
+"""Thread arbitration policies for function-unit contention.
+
+When several threads compete for a given function unit, one is granted
+use and the others must wait (paper Section 1).  The simulator supports
+two policies:
+
+* ``priority`` — threads are served strictly by priority (lower number
+  wins; by default a thread's priority is its spawn order).  This is
+  the policy behind Table 3's per-thread interference measurements.
+* ``round-robin`` — the scan order rotates every cycle, spreading
+  grants evenly across threads.
+"""
+
+from ..errors import ConfigError
+
+
+class PriorityArbiter:
+    """Strict priority: the highest-priority ready thread wins."""
+
+    name = "priority"
+
+    def order(self, threads, cycle):
+        return sorted(threads, key=lambda t: (t.priority, t.tid))
+
+
+class RoundRobinArbiter:
+    """Rotate the scan start point each cycle."""
+
+    name = "round-robin"
+
+    def order(self, threads, cycle):
+        ordered = sorted(threads, key=lambda t: t.tid)
+        if not ordered:
+            return ordered
+        start = cycle % len(ordered)
+        return ordered[start:] + ordered[:start]
+
+
+def make_arbiter(policy):
+    if policy == "priority":
+        return PriorityArbiter()
+    if policy == "round-robin":
+        return RoundRobinArbiter()
+    raise ConfigError("unknown arbitration policy %r" % policy)

@@ -1,0 +1,69 @@
+"""Runtime arbitration for the unit interconnection network.
+
+Writebacks from function units to register files consume register-file
+write ports and (for remote writes) buses.  The simulator charges each
+granted write against the per-cycle capacities implied by the configured
+:class:`~repro.machine.interconnect.InterconnectSpec`; writes that find
+no free port or bus retry on a later cycle (the paper: "The simulator
+manages arbitration for buses between function units if conflicts
+arise").
+"""
+
+from ..machine.interconnect import UNLIMITED
+
+
+class WritebackNetwork:
+    """Per-cycle port/bus accounting for one simulation."""
+
+    def __init__(self, spec, n_clusters, stats):
+        self.spec = spec
+        self.n_clusters = n_clusters
+        self.stats = stats
+        self._local_used = [0] * n_clusters
+        self._global_used = [0] * n_clusters
+        self._bus_used = 0
+
+    def new_cycle(self):
+        """Reset the per-cycle capacity counters."""
+        for i in range(self.n_clusters):
+            self._local_used[i] = 0
+            self._global_used[i] = 0
+        self._bus_used = 0
+
+    def _within(self, used, capacity):
+        return capacity is UNLIMITED or used < capacity
+
+    def try_grant(self, src_cluster, dest_cluster):
+        """Attempt one register write this cycle; True on success."""
+        spec = self.spec
+        local = src_cluster == dest_cluster
+        if spec.combined_port:
+            # A single port per register file shared by everyone.
+            used = self._local_used[dest_cluster]
+            if not self._within(used, spec.local_ports):
+                self.stats.writeback_conflicts += 1
+                return False
+            self._local_used[dest_cluster] += 1
+            self.stats.writeback_grants += 1
+            return True
+        if local:
+            if not self._within(self._local_used[dest_cluster],
+                                spec.local_ports):
+                self.stats.writeback_conflicts += 1
+                return False
+            self._local_used[dest_cluster] += 1
+            self.stats.writeback_grants += 1
+            return True
+        # Remote write: needs a global port on the destination file and,
+        # under Shared-bus, the machine-wide bus.
+        if not self._within(self._global_used[dest_cluster],
+                            spec.global_ports):
+            self.stats.writeback_conflicts += 1
+            return False
+        if not self._within(self._bus_used, spec.machine_bus):
+            self.stats.writeback_conflicts += 1
+            return False
+        self._global_used[dest_cluster] += 1
+        self._bus_used += 1
+        self.stats.writeback_grants += 1
+        return True

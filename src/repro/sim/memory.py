@@ -1,0 +1,197 @@
+"""Simulated node memory: presence bits, synchronizing accesses, and a
+statistical latency model.
+
+Every location carries a valid (presence) bit.  The six load/store
+flavors of the paper's Table 1 check a precondition against that bit and
+apply a postcondition on completion.  References whose precondition is
+not met are *held in the memory system* and reactivate when a subsequent
+reference changes the location's bit (split-transaction protocol), so
+the issuing memory unit is free to serve other operations.
+
+Latency is statistical (hit latency, miss rate, uniform miss penalty);
+banks are interleaved and conflict-free, exactly as the paper assumes —
+but references to the *same address* are serialized in arrival order,
+which both matches real hardware and makes producer/consumer and
+atomic-update idioms deterministic.
+"""
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+from ..isa.operations import (POST_EMPTY, POST_FULL, POST_KEEP, PRE_ALWAYS,
+                              PRE_EMPTY, PRE_FULL)
+
+
+@dataclass
+class MemRequest:
+    """One in-progress memory reference."""
+
+    thread: object
+    op: object
+    unit_slot: object
+    addr: int
+    store_value: object = None
+    submit_cycle: int = 0
+    value: object = None          # filled in for loads on completion
+    arrival: int = 0              # arrival sequence number (FIFO key)
+
+    @property
+    def is_load(self):
+        return self.op.spec.is_load
+
+
+class MemorySystem:
+    """The node's interleaved, presence-bit-synchronized memory."""
+
+    def __init__(self, spec, rng, stats, size=65536):
+        self.spec = spec
+        self.rng = rng
+        self.stats = stats
+        self.size = size
+        self._values = {}
+        self._empty = set()
+        self._busy = set()            # addresses with a reference in service
+        self._queues = {}             # addr -> deque of waiting requests
+        self._parked = {}             # addr -> list of precondition waiters
+        self._in_flight = []          # heap of (ready, seq, request)
+        self._seq = 0
+        self._arrivals = 0
+
+    # -- direct access (loader / result readout) ------------------------
+
+    def poke(self, addr, value, full=True):
+        self._check_addr(addr)
+        self._values[addr] = value
+        if full:
+            self._empty.discard(addr)
+        else:
+            self._empty.add(addr)
+
+    def peek(self, addr):
+        self._check_addr(addr)
+        return self._values.get(addr, 0)
+
+    def is_full(self, addr):
+        return addr not in self._empty
+
+    def _check_addr(self, addr):
+        if not 0 <= addr < self.size:
+            raise SimulationError("address %r out of range [0, %d)"
+                                  % (addr, self.size))
+
+    # -- request lifecycle ----------------------------------------------
+
+    def submit(self, request, cycle):
+        """Accept a reference from a memory unit at the given cycle."""
+        self._check_addr(request.addr)
+        request.submit_cycle = cycle
+        self._arrivals += 1
+        request.arrival = self._arrivals
+        addr = request.addr
+        if addr in self._busy or self._queues.get(addr):
+            self._queues.setdefault(addr, deque()).append(request)
+            self.stats.memory_queue_waits += 1
+        else:
+            self._begin_service(request, cycle)
+
+    def _precondition_met(self, request):
+        pre = request.op.spec.precondition
+        if pre == PRE_ALWAYS:
+            return True
+        if pre == PRE_FULL:
+            return self.is_full(request.addr)
+        if pre == PRE_EMPTY:
+            return not self.is_full(request.addr)
+        raise AssertionError("unknown precondition %r" % pre)
+
+    def _begin_service(self, request, cycle):
+        if not self._precondition_met(request):
+            self._parked.setdefault(request.addr, []).append(request)
+            self.stats.memory_parked += 1
+            return
+        self._busy.add(request.addr)
+        latency = self.spec.draw_latency(self.rng)
+        self.stats.memory_accesses += 1
+        if latency > self.spec.hit_latency:
+            self.stats.memory_misses += 1
+        self._seq += 1
+        heapq.heappush(self._in_flight,
+                       (cycle + latency - 1, self._seq, request))
+
+    def _apply(self, request):
+        """Perform the access and apply the Table 1 postcondition.
+        Returns True when the presence bit changed."""
+        addr = request.addr
+        was_full = self.is_full(addr)
+        if request.op.spec.is_load:
+            request.value = self._values.get(addr, 0)
+        else:
+            self._values[addr] = request.store_value
+        post = request.op.spec.postcondition
+        if post == POST_FULL:
+            self._empty.discard(addr)
+        elif post == POST_EMPTY:
+            self._empty.add(addr)
+        elif post != POST_KEEP:
+            raise AssertionError("unknown postcondition %r" % post)
+        return self.is_full(addr) != was_full
+
+    def tick(self, cycle):
+        """Advance one cycle; return the requests completed this cycle
+        (loads carry their value)."""
+        completed = []
+        changed_addrs = []
+        while self._in_flight and self._in_flight[0][0] <= cycle:
+            __, __, request = heapq.heappop(self._in_flight)
+            if self._apply(request):
+                changed_addrs.append(request.addr)
+            self._busy.discard(request.addr)
+            completed.append(request)
+        # A changed presence bit reactivates parked references: they
+        # rejoin the service queue, which stays ordered by arrival so a
+        # reference that arrived first is retried first.
+        for addr in changed_addrs:
+            waiters = self._parked.pop(addr, None)
+            if waiters:
+                queue = self._queues.get(addr, deque())
+                merged = sorted(list(queue) + waiters,
+                                key=lambda r: r.arrival)
+                self._queues[addr] = deque(merged)
+        # Start service for queued references on now-free addresses;
+        # service begins next cycle (per-address serialization).
+        for addr in [a for a, q in self._queues.items() if q]:
+            while addr not in self._busy and self._queues.get(addr):
+                request = self._queues[addr].popleft()
+                self._begin_service(request, cycle + 1)
+            if not self._queues.get(addr):
+                self._queues.pop(addr, None)
+        return completed
+
+    # -- state inspection -------------------------------------------------
+
+    def idle(self):
+        """True when nothing is in flight, queued, or parked."""
+        return (not self._in_flight and not self._parked
+                and not any(self._queues.values()))
+
+    def has_in_flight(self):
+        return bool(self._in_flight)
+
+    def parked_summary(self):
+        """Describe parked references (for deadlock diagnostics)."""
+        lines = []
+        for addr, waiters in sorted(self._parked.items()):
+            state = "full" if self.is_full(addr) else "empty"
+            ops = ", ".join("%s(thread %s)" % (w.op.name, w.thread.tid)
+                            for w in waiters)
+            lines.append("addr %d (%s): %s" % (addr, state, ops))
+        return lines
+
+    def read_range(self, base, size):
+        return [self._values.get(addr, 0)
+                for addr in range(base, base + size)]
+
+    def presence_range(self, base, size):
+        return [self.is_full(addr) for addr in range(base, base + size)]

@@ -1,0 +1,337 @@
+"""The processor-coupled node simulator.
+
+Functional-level, cycle-accurate in the paper's sense: it counts cycles
+and operations exactly under the stated rules —
+
+* every function unit can issue one operation per cycle, chosen among
+  the pending operations of all active threads (cycle-by-cycle
+  arbitration);
+* an operation issues only when its source presence bits are set and
+  every operation of the thread's previous instruction word has issued
+  (in-order issue, out-of-order completion);
+* issuing clears the destination presence bit; writeback sets it, and
+  must win a register-file port/bus under the configured interconnect
+  scheme;
+* memory references flow through the split-transaction memory system
+  with Table 1 synchronization and statistical latency.
+"""
+
+import random
+from collections import deque
+from dataclasses import dataclass
+
+from ..errors import DeadlockError, SimulationError
+from ..isa.operations import UnitClass
+from .arbitration import make_arbiter
+from .function_unit import FunctionUnitState, WritebackEntry
+from .interconnect import WritebackNetwork
+from .loader import load_memory, validate_program
+from .memory import MemRequest, MemorySystem
+from .opcache import OperationCache
+from .stats import Stats
+from .thread import ACTIVE, DONE, ThreadContext
+
+
+@dataclass
+class SimResult:
+    """Everything an experiment needs after a run."""
+
+    stats: object
+    memory: object
+    program: object
+    config: object
+    threads: list
+
+    @property
+    def cycles(self):
+        return self.stats.cycles
+
+    def read_symbol(self, name):
+        sym = self.program.data[name]
+        return self.memory.read_range(sym.base, sym.size)
+
+    def symbol_presence(self, name):
+        sym = self.program.data[name]
+        return self.memory.presence_range(sym.base, sym.size)
+
+    def thread_stats(self):
+        """Per-thread (name, spawn, finish, issued ops) rows."""
+        rows = []
+        for thread in self.threads:
+            rows.append({
+                "tid": thread.tid,
+                "name": thread.name,
+                "spawn": thread.spawn_cycle,
+                "finish": thread.finish_cycle,
+                "operations": self.stats.issued_by_thread[thread.tid],
+            })
+        return rows
+
+
+class Node:
+    """One simulation of one program on one machine configuration."""
+
+    MAX_THREADS = 4096
+
+    def __init__(self, config, observer=None):
+        self.config = config
+        self.observer = observer
+        self.stats = Stats()
+        self.rng = random.Random(config.seed)
+        self.units = {
+            slot.uid: FunctionUnitState(
+                slot,
+                opcache=OperationCache(config.op_cache, self.stats)
+                if config.op_cache is not None else None)
+            for slot in config.units}
+        self.unit_order = [slot.uid for slot in config.units]
+        self.network = WritebackNetwork(config.interconnect,
+                                        config.n_clusters, self.stats)
+        self.memory = MemorySystem(config.memory, self.rng, self.stats,
+                                   size=config.memory_size)
+        self.arbiter = make_arbiter(config.arbitration)
+        self.active = []
+        self.finished = []
+        self._spawn_queue = deque()
+        self._next_tid = 0
+        self.cycle = 0
+
+    # -- thread management ----------------------------------------------
+
+    def spawn(self, thread_program, bindings=(), priority=None):
+        limit = self.config.max_active_threads
+        if limit is not None and len(self.active) >= limit:
+            # The active set is full: the new thread waits for a slot
+            # (its argument values were captured at fork issue).
+            self._spawn_queue.append((thread_program, bindings, priority))
+            self.stats.spawn_queue_waits += 1
+            return None
+        if self._next_tid >= self.MAX_THREADS:
+            raise SimulationError("thread limit (%d) exceeded; runaway "
+                                  "fork?" % self.MAX_THREADS)
+        thread = ThreadContext(self._next_tid, thread_program,
+                               priority=priority, spawn_cycle=self.cycle)
+        self._next_tid += 1
+        for child_reg, value in bindings:
+            thread.frame(child_reg.cluster).force(child_reg.index, value)
+        self.active.append(thread)
+        self.stats.threads_spawned += 1
+        self.stats.thread_spawn_cycle[thread.tid] = self.cycle
+        self.stats.peak_active_threads = max(self.stats.peak_active_threads,
+                                             len(self.active))
+        if self.observer is not None:
+            self.observer("spawn", cycle=self.cycle, thread=thread)
+        return thread
+
+    # -- per-phase helpers ------------------------------------------------
+
+    def _complete_units(self):
+        """Phase 1: drain unit pipelines; route results onward."""
+        count = 0
+        for uid in self.unit_order:
+            unit = self.units[uid]
+            for entry in unit.pop_ready(self.cycle):
+                count += 1
+                spec = entry.op.spec
+                if spec.is_memory:
+                    self.memory.submit(entry.payload, self.cycle)
+                elif spec.unit is UnitClass.BRU:
+                    self._resolve_control(entry.thread, entry.op,
+                                          entry.payload)
+                else:
+                    unit.writebacks.append(WritebackEntry(
+                        entry.thread, entry.op, entry.payload,
+                        list(entry.op.dests)))
+        return count
+
+    def _resolve_control(self, thread, op, payload):
+        kind = payload[0]
+        if kind == "jump":
+            thread.next_ip = payload[1]
+        elif kind == "fork":
+            __, name, bindings = payload
+            child_program = self._program.thread(name)
+            self.spawn(child_program, bindings)
+        elif kind == "halt":
+            thread.halted = True
+            if self.observer is not None:
+                self.observer("halt", cycle=self.cycle, thread=thread)
+        else:
+            raise AssertionError("unknown control payload %r" % (kind,))
+        thread.control_inflight = False
+
+    def _complete_memory(self):
+        """Phase 2: tick the memory system; loads join writeback."""
+        completed = self.memory.tick(self.cycle)
+        for request in completed:
+            if request.is_load:
+                unit = self.units[request.unit_slot.uid]
+                unit.writebacks.append(WritebackEntry(
+                    request.thread, request.op, request.value,
+                    list(request.op.dests)))
+        return len(completed)
+
+    def _write_back(self):
+        """Phase 3: arbitrate ports/buses and commit results."""
+        self.network.new_cycle()
+        wrote = 0
+        for uid in self.unit_order:
+            unit = self.units[uid]
+            remaining = []
+            for entry in unit.writebacks:
+                kept = []
+                for dest in entry.dests:
+                    if self.network.try_grant(unit.cluster, dest.cluster):
+                        entry.thread.frame(dest.cluster).write(dest.index,
+                                                               entry.value)
+                        wrote += 1
+                    else:
+                        kept.append(dest)
+                entry.dests = kept
+                if kept:
+                    remaining.append(entry)
+            unit.writebacks = remaining
+        return wrote
+
+    def _advance_threads(self):
+        """Phase 4: instruction-pointer management."""
+        still_active = []
+        for thread in self.active:
+            if thread.word_done():
+                if thread.advance():
+                    still_active.append(thread)
+                else:
+                    thread.finish_cycle = self.cycle
+                    self.stats.thread_finish_cycle[thread.tid] = self.cycle
+                    self.stats.threads_finished += 1
+                    self.finished.append(thread)
+            else:
+                still_active.append(thread)
+        self.active = still_active
+        limit = self.config.max_active_threads
+        while self._spawn_queue and (limit is None
+                                     or len(self.active) < limit):
+            program, bindings, priority = self._spawn_queue.popleft()
+            self.spawn(program, bindings, priority)
+
+    def _issue(self):
+        """Phase 5: per-unit arbitration and operation issue."""
+        issued = 0
+        claimed = set()
+        for thread in self.arbiter.order(self.active, self.cycle):
+            for uid, op in list(thread.pending.items()):
+                if not thread.sources_ready(op):
+                    continue
+                unit = self.units[uid]
+                if unit.opcache is not None \
+                        and not unit.opcache.ready(thread, self.cycle):
+                    continue            # operation-cache fill in progress
+                if uid in claimed:
+                    self.stats.arbitration_losses += 1
+                    continue
+                self._issue_one(unit, thread, op)
+                claimed.add(uid)
+                issued += 1
+        return issued
+
+    def _issue_one(self, unit, thread, op):
+        values = thread.capture_sources(op)
+        spec = op.spec
+        if spec.is_memory:
+            if spec.is_load:
+                addr = int(values[0]) + int(values[1])
+                payload = MemRequest(thread, op, unit.slot, addr)
+            else:
+                addr = int(values[1]) + int(values[2])
+                payload = MemRequest(thread, op, unit.slot, addr,
+                                     store_value=values[0])
+        elif spec.unit is UnitClass.BRU:
+            payload = self._control_payload(thread, op, values)
+            thread.control_inflight = True
+        else:
+            try:
+                payload = spec.semantics(*values)
+            except ArithmeticError as exc:
+                raise SimulationError(
+                    "thread %s: %s%r raised %s at cycle %d"
+                    % (thread.name, op.name, tuple(values), exc, self.cycle))
+        for dest in op.dests:
+            thread.frame(dest.cluster).invalidate(dest.index)
+        del thread.pending[unit.uid]
+        unit.push(self.cycle, thread, op, payload)
+        self.stats.record_issue(unit.slot, thread.tid)
+        if self.observer is not None:
+            self.observer("issue", cycle=self.cycle, thread=thread,
+                          unit=unit.uid, op=op)
+
+    def _control_payload(self, thread, op, values):
+        if op.spec.is_halt:
+            return ("halt",)
+        if op.spec.is_fork:
+            return ("fork", op.target.name, thread.capture_bindings(op))
+        if op.name == "br":
+            return ("jump", thread.program.resolve(op.target))
+        taken = bool(values[0]) if op.name == "brt" else not values[0]
+        if taken:
+            return ("jump", thread.program.resolve(op.target))
+        return ("jump", None)
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self, program, overrides=None, max_cycles=5_000_000):
+        validate_program(program, self.config)
+        self._program = program
+        load_memory(self.memory, program, overrides)
+        self.spawn(program.thread(program.main))
+        frozen = 0
+        while True:
+            completed = self._complete_units()
+            completed += self._complete_memory()
+            wrote = self._write_back()
+            self._advance_threads()
+            issued = self._issue()
+            self.cycle += 1
+            self.stats.cycles = self.cycle
+            if not self.active and not self._spawn_queue \
+                    and self.memory.idle() \
+                    and not any(self.units[uid].busy()
+                                for uid in self.unit_order):
+                break
+            if self.cycle >= max_cycles:
+                raise SimulationError(
+                    "exceeded %d cycles (program %s on %s)"
+                    % (max_cycles, program.main, self.config.name))
+            in_flight = (self.memory.has_in_flight()
+                         or any(self.units[uid].busy()
+                                for uid in self.unit_order)
+                         or any(self.units[uid].opcache is not None
+                                and self.units[uid].opcache._fills
+                                for uid in self.unit_order))
+            if issued == 0 and completed == 0 and wrote == 0 \
+                    and not in_flight:
+                frozen += 1
+                if frozen >= 2:
+                    self._raise_deadlock()
+            else:
+                frozen = 0
+        return SimResult(self.stats, self.memory, program, self.config,
+                         self.finished + self.active)
+
+    def _raise_deadlock(self):
+        lines = ["deadlock at cycle %d" % self.cycle]
+        if self._spawn_queue:
+            lines.append("%d forked threads waiting for an active-set "
+                         "slot" % len(self._spawn_queue))
+        for thread in self.active:
+            lines.append("thread %d (%s) at word %d: %s"
+                         % (thread.tid, thread.name, thread.ip,
+                            thread.stall_reason()))
+        lines.extend(self.memory.parked_summary())
+        raise DeadlockError("\n".join(lines))
+
+
+def run_program(program, config, overrides=None, max_cycles=5_000_000,
+                observer=None):
+    """Convenience wrapper: simulate ``program`` on ``config``."""
+    node = Node(config, observer=observer)
+    return node.run(program, overrides=overrides, max_cycles=max_cycles)

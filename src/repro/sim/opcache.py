@@ -1,0 +1,74 @@
+"""Operation caches (paper Section 2/5, relaxed assumption).
+
+Each function unit contains an *operation cache*; summed over all
+units, the operation caches form the node's instruction cache.  The
+paper's evaluation assumes no operation-cache misses ("no instruction
+cache misses or operation prefetch delays are included"); this module
+makes that assumption optional so its cost can be measured.
+
+Model: each function unit caches the operations it recently issued,
+keyed by (thread program, word index), with LRU replacement.  An
+operation whose word is absent pays a fixed fill penalty before it can
+issue (the unit stays available to other threads whose operations are
+resident — a coupling-friendly miss model).
+"""
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class OpCacheSpec:
+    """Parameters of the per-unit operation cache.
+
+    ``capacity`` counts cached words per function unit; ``fill_penalty``
+    is the extra delay (cycles) before a missing operation can issue.
+    ``None`` capacity means the paper's perfect-cache assumption.
+    """
+
+    capacity: int = 64
+    fill_penalty: int = 4
+
+    def __post_init__(self):
+        if self.capacity is not None and self.capacity < 1:
+            raise ConfigError("operation cache capacity must be >= 1")
+        if self.fill_penalty < 1:
+            raise ConfigError("fill penalty must be >= 1")
+
+
+class OperationCache:
+    """Runtime state of one unit's operation cache."""
+
+    def __init__(self, spec, stats):
+        self.spec = spec
+        self.stats = stats
+        self._lines = OrderedDict()     # (program name, word) -> True
+        self._fills = {}                # key -> ready cycle
+
+    def ready(self, thread, cycle):
+        """Can the thread's current word issue from this unit now?
+        A miss starts (or continues) a fill and returns False."""
+        key = (thread.program.name, thread.ip)
+        if key in self._lines:
+            self._lines.move_to_end(key)
+            return True
+        fill_ready = self._fills.get(key)
+        if fill_ready is None:
+            self._fills[key] = cycle + self.spec.fill_penalty
+            self.stats.opcache_misses += 1
+            return False
+        if cycle >= fill_ready:
+            del self._fills[key]
+            self._insert(key)
+            return True
+        return False
+
+    def _insert(self, key):
+        self._lines[key] = True
+        while len(self._lines) > self.spec.capacity:
+            self._lines.popitem(last=False)
+
+    def resident_words(self):
+        return len(self._lines)

@@ -1,0 +1,64 @@
+"""Per-thread, per-cluster register frames with presence bits.
+
+Processor coupling uses data presence bits in registers for low level
+synchronization within a thread: an operation issues only when all its
+source registers are valid; issuing clears the destination's valid bit,
+and writeback sets it (paper Section 2).  Each thread owns a logical
+register set distributed over the clusters it uses, so the simulator
+keeps one :class:`RegisterFrame` per (thread, cluster) pair.
+
+Frames are unbounded maps because the paper's compiler assumes an
+infinite register supply; peak usage is reported, not enforced.
+"""
+
+from ..errors import SimulationError
+
+
+class RegisterFrame:
+    """One thread's registers within one cluster's register file."""
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+        self._values = {}
+        self._invalid = set()
+
+    def is_valid(self, index):
+        return index not in self._invalid
+
+    def read(self, index):
+        """Read a register; the caller must have checked validity."""
+        if index in self._invalid:
+            raise SimulationError(
+                "read of invalid register c%d.r%d (issue logic must wait "
+                "for the presence bit)" % (self.cluster, index))
+        return self._values.get(index, 0)
+
+    def peek(self, index):
+        """Read a register value regardless of its presence bit
+        (diagnostics only)."""
+        return self._values.get(index, 0)
+
+    def invalidate(self, index):
+        """Clear the presence bit (done when an operation issues)."""
+        self._invalid.add(index)
+
+    def write(self, index, value):
+        """Write a value and set the presence bit (writeback)."""
+        self._values[index] = value
+        self._invalid.discard(index)
+
+    def force(self, index, value):
+        """Initialize a register outside the writeback path (thread
+        spawn argument copy)."""
+        self._values[index] = value
+        self._invalid.discard(index)
+
+    def invalid_registers(self):
+        """Registers currently awaiting writeback (diagnostics)."""
+        return sorted(self._invalid)
+
+    def used_registers(self):
+        return sorted(self._values)
+
+    def __len__(self):
+        return len(self._values)

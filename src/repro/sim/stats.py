@@ -1,0 +1,77 @@
+"""Execution statistics gathered by the node simulator.
+
+The paper reports dynamic cycle count, operation count, and function
+unit utilization (average operations executed per cycle per unit class);
+this module collects those plus memory, interconnect, and arbitration
+detail used by the later experiments.
+"""
+
+from collections import Counter
+
+from ..isa.operations import UnitClass
+
+
+class Stats:
+    """Mutable counters filled in during simulation."""
+
+    def __init__(self):
+        self.cycles = 0
+        self.issued_by_kind = Counter()
+        self.issued_by_unit = Counter()
+        self.issued_by_thread = Counter()
+        self.total_operations = 0
+        self.arbitration_losses = 0
+        self.writeback_conflicts = 0
+        self.writeback_grants = 0
+        self.memory_accesses = 0
+        self.memory_misses = 0
+        self.memory_parked = 0
+        self.memory_queue_waits = 0
+        self.opcache_misses = 0
+        self.spawn_queue_waits = 0
+        self.threads_spawned = 0
+        self.threads_finished = 0
+        self.peak_active_threads = 0
+        self.thread_spawn_cycle = {}
+        self.thread_finish_cycle = {}
+
+    # -- recording ------------------------------------------------------
+
+    def record_issue(self, unit_slot, thread_id):
+        self.issued_by_kind[unit_slot.kind] += 1
+        self.issued_by_unit[unit_slot.uid] += 1
+        self.issued_by_thread[thread_id] += 1
+        self.total_operations += 1
+
+    # -- reporting ------------------------------------------------------
+
+    def utilization(self, kind):
+        """Average operations of this unit class executed per cycle."""
+        if self.cycles == 0:
+            return 0.0
+        return self.issued_by_kind[kind] / float(self.cycles)
+
+    def utilization_table(self):
+        return {kind: self.utilization(kind) for kind in UnitClass}
+
+    def summary(self):
+        util = self.utilization_table()
+        return {
+            "cycles": self.cycles,
+            "operations": self.total_operations,
+            "fpu_util": util[UnitClass.FPU],
+            "iu_util": util[UnitClass.IU],
+            "mem_util": util[UnitClass.MEM],
+            "bru_util": util[UnitClass.BRU],
+            "threads": self.threads_spawned,
+            "memory_accesses": self.memory_accesses,
+            "memory_misses": self.memory_misses,
+            "writeback_conflicts": self.writeback_conflicts,
+            "arbitration_losses": self.arbitration_losses,
+            "opcache_misses": self.opcache_misses,
+        }
+
+    def __str__(self):
+        pairs = sorted(self.summary().items())
+        return ", ".join("%s=%s" % (k, round(v, 3) if isinstance(v, float)
+                                    else v) for k, v in pairs)

@@ -1,0 +1,116 @@
+"""Thread contexts.
+
+Each thread has its own instruction pointer and logical set of registers
+(distributed over clusters) but shares the function units, interconnect
+bandwidth, and memory with the other active threads (paper Section 2).
+"""
+
+from ..errors import SimulationError
+from .registers import RegisterFrame
+
+ACTIVE = "active"
+DONE = "done"
+
+
+class ThreadContext:
+    """Runtime state of one thread on the node."""
+
+    def __init__(self, tid, program, priority=None, spawn_cycle=0):
+        self.tid = tid
+        self.program = program
+        self.name = program.name
+        self.priority = tid if priority is None else priority
+        self.frames = {}
+        self.state = ACTIVE
+        self.spawn_cycle = spawn_cycle
+        self.finish_cycle = None
+        # Instruction sequencing: the thread sits "before" instruction 0
+        # until its first advance.
+        self.ip = -1
+        self.next_ip = 0
+        self.pending = {}            # unit id -> Operation, not yet issued
+        self.control_inflight = False
+        self.halted = False
+
+    def frame(self, cluster):
+        frame = self.frames.get(cluster)
+        if frame is None:
+            frame = self.frames[cluster] = RegisterFrame(cluster)
+        return frame
+
+    # -- instruction sequencing ----------------------------------------
+
+    def word_done(self):
+        """True when every operation of the current instruction word has
+        issued and any control operation has resolved (in-order issue,
+        paper Section 2)."""
+        return not self.pending and not self.control_inflight
+
+    def advance(self):
+        """Move to the next instruction word; returns False when the
+        thread has halted."""
+        if self.halted:
+            self.state = DONE
+            return False
+        target = self.next_ip if self.next_ip is not None else self.ip + 1
+        self.next_ip = None
+        if target >= len(self.program.instructions):
+            raise SimulationError(
+                "thread %r fell off the end of its code (missing halt)"
+                % self.name)
+        self.ip = target
+        word = self.program.instructions[target]
+        self.pending = dict(word.slots)
+        if not self.pending:
+            raise SimulationError("empty instruction word in thread %r"
+                                  % self.name)
+        return True
+
+    def sources_ready(self, op):
+        """Check the presence bits of every register the op reads, and
+        of every register it writes: an invalid destination means an
+        older operation's writeback is still outstanding, and issuing
+        over it would let the stale result land last (the classic
+        scoreboard WAW interlock)."""
+        for reg in op.source_regs():
+            if not self.frame(reg.cluster).is_valid(reg.index):
+                return False
+        for reg in op.dests:
+            if not self.frame(reg.cluster).is_valid(reg.index):
+                return False
+        return True
+
+    def capture_sources(self, op):
+        """Read source operand values at issue time."""
+        values = []
+        for src in op.srcs:
+            if hasattr(src, "cluster"):
+                values.append(self.frame(src.cluster).read(src.index))
+            else:
+                values.append(src.value)
+        return values
+
+    def capture_bindings(self, op):
+        """Evaluate fork bindings at issue time."""
+        captured = []
+        for child_reg, value in op.bindings:
+            if hasattr(value, "cluster"):
+                captured.append((child_reg,
+                                 self.frame(value.cluster).read(value.index)))
+            else:
+                captured.append((child_reg, value.value))
+        return captured
+
+    def stall_reason(self):
+        """Describe why the thread cannot issue (deadlock diagnostics)."""
+        reasons = []
+        for uid, op in sorted(self.pending.items()):
+            waiting = [str(reg)
+                       for reg in list(op.source_regs()) + list(op.dests)
+                       if not self.frame(reg.cluster).is_valid(reg.index)]
+            if waiting:
+                reasons.append("%s at %s waits on %s"
+                               % (op.name, uid, ", ".join(waiting)))
+        if self.control_inflight:
+            reasons.append("control operation in flight")
+        return "; ".join(reasons) or "ready but never granted a unit"

@@ -1,0 +1,42 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import pytest
+
+from repro.machine import baseline, single_cluster
+
+
+@pytest.fixture
+def config():
+    """The paper's baseline machine."""
+    return baseline()
+
+
+@pytest.fixture
+def small_config():
+    """One arithmetic cluster plus one branch cluster."""
+    return single_cluster()
+
+
+def compile_and_run(source, config, mode="sts", overrides=None, **kwargs):
+    """Compile source and simulate it; returns the SimResult."""
+    from repro import compile_program, run_program
+    compiled = compile_program(source, config, mode=mode)
+    return run_program(compiled.program, config, overrides=overrides,
+                       **kwargs)
+
+
+def assert_matches_interp(source, config, modes=("sts",), overrides=None):
+    """Differential test: simulated memory must equal the reference
+    interpreter's for every requested mode and every symbol."""
+    from repro import compile_program, interpret, run_program
+    expected = interpret(source, overrides=overrides)
+    for mode in modes:
+        compiled = compile_program(source, config, mode=mode)
+        result = run_program(compiled.program, config,
+                             overrides=overrides)
+        for symbol in expected.memory:
+            got = result.read_symbol(symbol)
+            want = expected.read_symbol(symbol)
+            assert got == want, (
+                "mode %s symbol %s: %r != %r" % (mode, symbol, got, want))
+    return expected

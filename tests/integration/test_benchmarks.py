@@ -1,0 +1,68 @@
+"""Full-benchmark validation: every benchmark, every mode, against the
+Python reference and (where the inline semantics allow) the reference
+interpreter."""
+
+import pytest
+
+from repro import compile_program, interpret, run_program
+from repro.machine import baseline
+from repro.programs import BENCHMARKS, get_benchmark
+from repro.programs.suite import BENCHMARK_ORDER
+
+ALL_CASES = [(name, mode) for name in BENCHMARK_ORDER
+             for mode in BENCHMARKS[name].modes]
+
+
+@pytest.fixture(scope="module")
+def config():
+    return baseline()
+
+
+@pytest.mark.parametrize("name,mode", ALL_CASES)
+def test_benchmark_results_match_reference(name, mode, config):
+    bench = get_benchmark(name)
+    inputs = bench.make_inputs(seed=7)
+    compiled = compile_program(bench.source(mode), config, mode=mode)
+    result = run_program(compiled.program, config, overrides=inputs)
+    problems = bench.check(result, inputs)
+    assert not problems, problems[:5]
+
+
+@pytest.mark.parametrize("name", BENCHMARK_ORDER)
+def test_interpreter_matches_reference(name):
+    bench = get_benchmark(name)
+    inputs = bench.make_inputs(seed=7)
+    mode = "tpe" if "tpe" in bench.modes else "sts"
+    ref = interpret(bench.source(mode), overrides=inputs)
+    problems = bench.check(ref, inputs)
+    assert not problems, problems[:5]
+
+
+@pytest.mark.parametrize("name", BENCHMARK_ORDER)
+def test_different_seeds_give_different_inputs(name):
+    bench = get_benchmark(name)
+    a = bench.make_inputs(seed=1)
+    b = bench.make_inputs(seed=2)
+    assert a != b
+
+
+def test_register_usage_stays_modest(config):
+    """The paper: realistic configurations peak below 60 live registers
+    per cluster; only Ideal mode needs hundreds."""
+    for name in BENCHMARK_ORDER:
+        bench = get_benchmark(name)
+        for mode in bench.modes:
+            compiled = compile_program(bench.source(mode), config,
+                                       mode=mode)
+            peak = max(compiled.peak_registers().values())
+            if mode == "ideal":
+                assert peak <= 600
+            else:
+                assert peak <= 80, (name, mode, peak)
+
+
+def test_ideal_mode_uses_many_registers(config):
+    bench = get_benchmark("matrix")
+    compiled = compile_program(bench.source("ideal"), config,
+                               mode="ideal")
+    assert max(compiled.peak_registers().values()) > 60

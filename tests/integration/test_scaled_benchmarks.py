@@ -1,0 +1,66 @@
+"""Size-parameterized benchmark variants stay correct at every scale."""
+
+import pytest
+
+from repro import baseline, compile_program, run_program
+from repro.programs import scaled
+
+
+def check(bench, mode, config):
+    inputs = bench.make_inputs(seed=5)
+    compiled = compile_program(bench.source(mode), config, mode=mode)
+    result = run_program(compiled.program, config, overrides=inputs)
+    problems = bench.check(result, inputs)
+    assert not problems, problems[:3]
+    return result
+
+
+@pytest.fixture(scope="module")
+def config():
+    return baseline()
+
+
+class TestScaledSizes:
+    @pytest.mark.parametrize("n", [4, 6, 12])
+    def test_matrix_sizes(self, config, n):
+        check(scaled("matrix", n=n), "coupled", config)
+
+    @pytest.mark.parametrize("n", [8, 16, 64])
+    def test_fft_sizes(self, config, n):
+        check(scaled("fft", n=n), "sts", config)
+
+    def test_fft_threaded_other_size(self, config):
+        check(scaled("fft", n=16), "coupled", config)
+
+    def test_fft_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            scaled("fft", n=12).source("sts")
+
+    @pytest.mark.parametrize("mesh", [3, 5])
+    def test_lud_meshes(self, config, mesh):
+        check(scaled("lud", mesh=mesh), "tpe", config)
+
+    @pytest.mark.parametrize("niter", [1, 3])
+    def test_model_iterations(self, config, niter):
+        check(scaled("model", niter=niter), "coupled", config)
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(TypeError):
+            scaled("matrix", size=4)
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(KeyError):
+            scaled("sort")
+
+
+class TestScalingBehaviour:
+    def test_cycles_grow_with_size(self, config):
+        small = check(scaled("matrix", n=4), "sts", config)
+        large = check(scaled("matrix", n=10), "sts", config)
+        assert large.cycles > small.cycles
+
+    def test_defaults_match_paper_sizes(self, config):
+        from repro.programs import get_benchmark
+        default = get_benchmark("fft")
+        same = scaled("fft")
+        assert default.source("seq") == same.source("seq")

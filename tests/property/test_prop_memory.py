@@ -1,0 +1,119 @@
+"""Model-based property test of the memory system: any sequence of
+Table 1 accesses to a small address range must match a simple
+sequential model (per-address arrival ordering makes this exact)."""
+
+import random
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.isa.instruction import Operation
+from repro.isa.operands import Imm, Reg
+from repro.machine.memory import MemorySpec, min_memory
+from repro.sim.memory import MemRequest, MemorySystem
+from repro.sim.stats import Stats
+
+N_ADDRS = 4
+
+
+class _Cell:
+    """Per-request result slot (mirrors MemRequest.value)."""
+
+    def __init__(self):
+        self.value = None
+
+
+class _Model:
+    """Sequential oracle with park-until-satisfied semantics."""
+
+    def __init__(self):
+        self.values = [0] * N_ADDRS
+        self.full = [True] * N_ADDRS
+        self.parked = []      # (op name, addr, value, result cell)
+
+    def access(self, name, addr, value, cell):
+        if not self._try(name, addr, value, cell):
+            self.parked.append((name, addr, value, cell))
+        else:
+            self._drain()
+
+    def _try(self, name, addr, value, cell):
+        pre_ok = {
+            "ld": True, "st": True,
+            "ld_ff": self.full[addr], "ld_fe": self.full[addr],
+            "st_ff": self.full[addr], "st_ef": not self.full[addr],
+        }[name]
+        if not pre_ok:
+            return False
+        if name.startswith("ld"):
+            cell.value = self.values[addr]
+        else:
+            self.values[addr] = value
+        if name in ("st", "st_ef"):
+            self.full[addr] = True
+        elif name == "ld_fe":
+            self.full[addr] = False
+        return True
+
+    def _drain(self):
+        progress = True
+        while progress:
+            progress = False
+            for entry in list(self.parked):
+                if self._try(*entry):
+                    self.parked.remove(entry)
+                    progress = True
+
+
+def _op(name):
+    if name.startswith("ld"):
+        return Operation(name, dests=(Reg(0, 0),),
+                         srcs=(Imm(0), Imm(0)))
+    return Operation(name, srcs=(Imm(0), Imm(0), Imm(0)))
+
+
+class _Thread:
+    tid = 0
+
+
+accesses = st.lists(
+    st.tuples(
+        st.sampled_from(["ld", "st", "ld_ff", "ld_fe", "st_ff", "st_ef"]),
+        st.integers(0, N_ADDRS - 1),
+        st.integers(1, 99)),
+    min_size=1, max_size=25)
+
+
+class TestMemoryModel:
+    @given(sequence=accesses, slow=st.booleans())
+    @settings(max_examples=120, deadline=None)
+    def test_matches_sequential_model(self, sequence, slow):
+        spec = MemorySpec("fixed", hit_latency=4) if slow else \
+            min_memory()
+        memory = MemorySystem(spec, random.Random(0), Stats(),
+                              size=N_ADDRS)
+        model = _Model()
+        requests = []
+        # Submit one access per cycle (arrival order = program order).
+        for cycle, (name, addr, value) in enumerate(sequence):
+            request = MemRequest(_Thread(), _op(name), None, addr,
+                                 store_value=value)
+            cell = _Cell()
+            requests.append((name, request, cell))
+            memory.submit(request, cycle)
+            memory.tick(cycle)
+            model.access(name, addr, value, cell)
+        for cycle in range(len(sequence), len(sequence) + 400):
+            memory.tick(cycle)
+            if memory.idle():
+                break
+        # Requests the model left parked must be parked in the sim too;
+        # every completed load must return the model's value; final
+        # memory contents and presence bits must agree.
+        assert memory.idle() == (not model.parked)
+        for name, request, cell in requests:
+            if request.op.spec.is_load:
+                assert request.value == cell.value, name
+        for addr in range(N_ADDRS):
+            assert memory.peek(addr) == model.values[addr]
+            assert memory.is_full(addr) == model.full[addr]

@@ -1,0 +1,89 @@
+"""Robustness properties: determinism, correctness under random memory
+latencies, restricted interconnects, and thread interleavings."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro import compile_program, run_program
+from repro.machine import CommScheme, baseline
+from repro.machine.memory import MemorySpec
+from repro.programs import get_benchmark
+
+THREADED_SOURCE = """
+(program
+  (const N 5)
+  (global A N)
+  (global B N)
+  (global done N :int :empty)
+  (kernel work (i)
+    (let ((x (aref A i)))
+      (aset! B i (+ (* x x) 1.0)))
+    (aset-ef! done i 1))
+  (main
+    (forall (i 0 N) (work i))
+    (for (i 0 N)
+      (sync (aref-ff done i)))))
+"""
+
+INPUT = {"A": [0.5, -1.5, 2.0, 3.25, -0.75]}
+EXPECTED = [x * x + 1.0 for x in INPUT["A"]]
+
+
+def run_threaded(config):
+    compiled = compile_program(THREADED_SOURCE, config, mode="coupled")
+    return run_program(compiled.program, config, overrides=INPUT)
+
+
+class TestDeterminism:
+    @given(seed=st.integers(0, 2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_same_seed_same_cycles(self, seed):
+        spec = MemorySpec("m", miss_rate=0.2, miss_penalty_min=5,
+                          miss_penalty_max=40)
+        config = baseline().with_memory(spec).with_seed(seed)
+        a = run_threaded(config)
+        b = run_threaded(config)
+        assert a.cycles == b.cycles
+        assert a.stats.summary() == b.stats.summary()
+
+
+class TestLatencyRobustness:
+    @given(seed=st.integers(0, 10_000),
+           miss_rate=st.floats(min_value=0.0, max_value=0.5),
+           penalty=st.integers(1, 60))
+    @settings(max_examples=25, deadline=None)
+    def test_results_independent_of_latency(self, seed, miss_rate,
+                                            penalty):
+        spec = MemorySpec("rand", miss_rate=miss_rate,
+                          miss_penalty_min=1, miss_penalty_max=penalty)
+        config = baseline().with_memory(spec).with_seed(seed)
+        result = run_threaded(config)
+        assert result.read_symbol("B") == EXPECTED
+
+
+class TestInterconnectRobustness:
+    @given(scheme=st.sampled_from(list(CommScheme)),
+           arbitration=st.sampled_from(["priority", "round-robin"]))
+    @settings(max_examples=10, deadline=None)
+    def test_results_independent_of_ports(self, scheme, arbitration):
+        config = baseline().with_interconnect(scheme) \
+            .with_arbitration(arbitration)
+        result = run_threaded(config)
+        assert result.read_symbol("B") == EXPECTED
+
+    @given(scheme=st.sampled_from([CommScheme.SINGLE_PORT,
+                                   CommScheme.SHARED_BUS]),
+           seed=st.integers(0, 1000))
+    @settings(max_examples=10, deadline=None)
+    def test_benchmark_correct_under_congestion_and_misses(self, scheme,
+                                                           seed):
+        bench = get_benchmark("matrix")
+        inputs = bench.make_inputs(seed=2)
+        spec = MemorySpec("m", miss_rate=0.1, miss_penalty_min=2,
+                          miss_penalty_max=25)
+        config = baseline().with_interconnect(scheme) \
+            .with_memory(spec).with_seed(seed)
+        compiled = compile_program(bench.source("coupled"), config,
+                                   mode="coupled")
+        result = run_program(compiled.program, config, overrides=inputs)
+        assert not bench.check(result, inputs)

@@ -1,0 +1,79 @@
+"""Static invariants of every emitted schedule, over random programs:
+
+* no instruction word contains an intra-word dependence (operations in
+  one row must be executable simultaneously — paper, Figure 1);
+* at most one branch-unit operation per word;
+* every non-fork source register is local to its unit's cluster;
+* at most two destinations per operation.
+
+These hold for *any* legal compiler output, so they are checked on the
+random-program generator of the differential suite.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro import compile_program
+from repro.isa.instruction import parse_unit_id
+from repro.isa.operations import UnitClass
+from repro.machine import baseline, unit_mix
+
+from tests.property.test_prop_differential import programs
+
+CONFIGS = [baseline(), unit_mix(2, 2)]
+
+
+def check_program(program):
+    for thread in program.threads.values():
+        for word in thread.instructions:
+            per_op = []
+            control_ops = 0
+            for uid, op in word:
+                cluster, kind, __ = parse_unit_id(uid)
+                assert op.spec.unit is kind
+                if kind is UnitClass.BRU:
+                    control_ops += 1
+                assert len(op.dests) <= 2
+                reads = set()
+                for src in op.source_regs():
+                    if op.spec.is_fork:
+                        continue
+                    assert src.cluster == cluster, \
+                        "remote read %s at %s" % (src, uid)
+                    reads.add(src)
+                per_op.append((reads, set(op.dests)))
+            assert control_ops <= 1
+            # Intra-word independence: no operation may read a register
+            # another operation in the same word writes, nor may two
+            # operations write the same register (issue order within a
+            # word is unspecified).  An operation reading its own
+            # destination is fine: sources are captured at issue.
+            for index, (reads, writes) in enumerate(per_op):
+                for other_index, (__, other_writes) in enumerate(per_op):
+                    if index == other_index:
+                        continue
+                    assert not (reads & other_writes), \
+                        "intra-word dependence in %s" % word
+                    assert not (writes & other_writes), \
+                        "intra-word output conflict in %s" % word
+
+
+class TestScheduleInvariants:
+    @given(source=programs(),
+           mode=st.sampled_from(["seq", "sts"]),
+           config_index=st.integers(0, len(CONFIGS) - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_random_programs_schedule_legally(self, source, mode,
+                                              config_index):
+        compiled = compile_program(source, CONFIGS[config_index],
+                                   mode=mode)
+        check_program(compiled.program)
+
+    def test_all_benchmarks_schedule_legally(self):
+        from repro.programs import BENCHMARKS
+        config = baseline()
+        for name, bench in BENCHMARKS.items():
+            for mode in bench.modes:
+                compiled = compile_program(bench.source(mode), config,
+                                           mode=mode)
+                check_program(compiled.program)

@@ -1,0 +1,48 @@
+"""Thread arbitration policies."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.arbitration import (PriorityArbiter, RoundRobinArbiter,
+                                   make_arbiter)
+
+
+class FakeThread:
+    def __init__(self, tid, priority=None):
+        self.tid = tid
+        self.priority = tid if priority is None else priority
+
+
+class TestPriority:
+    def test_orders_by_priority_then_tid(self):
+        threads = [FakeThread(2), FakeThread(0), FakeThread(1, priority=0)]
+        ordered = PriorityArbiter().order(threads, cycle=5)
+        assert [t.tid for t in ordered] == [0, 1, 2]
+
+    def test_stable_across_cycles(self):
+        threads = [FakeThread(1), FakeThread(0)]
+        arbiter = PriorityArbiter()
+        assert [t.tid for t in arbiter.order(threads, 0)] == \
+               [t.tid for t in arbiter.order(threads, 99)]
+
+
+class TestRoundRobin:
+    def test_rotation(self):
+        threads = [FakeThread(0), FakeThread(1), FakeThread(2)]
+        arbiter = RoundRobinArbiter()
+        assert [t.tid for t in arbiter.order(threads, 0)] == [0, 1, 2]
+        assert [t.tid for t in arbiter.order(threads, 1)] == [1, 2, 0]
+        assert [t.tid for t in arbiter.order(threads, 3)] == [0, 1, 2]
+
+    def test_empty(self):
+        assert RoundRobinArbiter().order([], 3) == []
+
+
+class TestFactory:
+    def test_known_policies(self):
+        assert make_arbiter("priority").name == "priority"
+        assert make_arbiter("round-robin").name == "round-robin"
+
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigError):
+            make_arbiter("fifo")

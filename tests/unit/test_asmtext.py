@@ -1,0 +1,124 @@
+"""Assembly text emission and parsing."""
+
+import pytest
+
+from repro.errors import AsmError
+from repro.isa import asmtext
+from repro.isa.instruction import InstructionWord, Operation, Program, \
+    ThreadProgram
+from repro.isa.operands import Imm, Label, Reg
+
+
+def build_sample_program():
+    program = Program()
+    main = ThreadProgram("main")
+    main.add_label("L0")
+    main.append(InstructionWord({
+        "c0.iu0": Operation("iadd", dests=(Reg(0, 1), Reg(1, 2)),
+                            srcs=(Reg(0, 0), Imm(4))),
+        "c0.fpu0": Operation("fmul", dests=(Reg(0, 3),),
+                             srcs=(Reg(0, 1), Reg(0, 2))),
+    }))
+    main.append(InstructionWord({
+        "c0.mem0": Operation("st", srcs=(Reg(0, 3), Reg(0, 1), Imm(8))),
+        "c4.bru0": Operation("brt", srcs=(Reg(4, 0),),
+                             target=Label("L0")),
+    }))
+    main.append(InstructionWord({
+        "c4.bru0": Operation("fork", target=Label("child"),
+                             bindings=((Reg(0, 0), Reg(0, 1)),
+                                       (Reg(0, 1), Imm(-2)))),
+    }))
+    main.append(InstructionWord({"c4.bru0": Operation("halt")}))
+    program.add_thread(main)
+    child = ThreadProgram("child", param_regs=[Reg(0, 0), Reg(0, 1)])
+    child.append(InstructionWord({"c4.bru0": Operation("halt")}))
+    program.add_thread(child)
+    # Deliberately non-alphabetical declaration order: bases must
+    # survive the text round-trip regardless of names.
+    program.data.declare("flags", 4, initially_full=False)
+    program.data.declare("buffer", 16)
+    return program
+
+
+class TestRoundTrip:
+    def test_emit_parse_identity(self):
+        program = build_sample_program()
+        text = asmtext.emit(program)
+        parsed = asmtext.parse(text)
+        assert asmtext.emit(parsed) == text
+
+    def test_symbols_preserved(self):
+        parsed = asmtext.parse(asmtext.emit(build_sample_program()))
+        assert parsed.data["flags"].initially_full is False
+        assert parsed.data["buffer"].size == 16
+
+    def test_symbol_addresses_preserved(self):
+        """Addresses are baked into memory operations as immediates, so
+        emit/parse must keep every symbol at its original base."""
+        program = build_sample_program()
+        parsed = asmtext.parse(asmtext.emit(program))
+        for name, sym in program.data.symbols.items():
+            assert parsed.data[name].base == sym.base, name
+
+    def test_params_preserved(self):
+        parsed = asmtext.parse(asmtext.emit(build_sample_program()))
+        assert parsed.thread("child").param_regs == [Reg(0, 0), Reg(0, 1)]
+
+    def test_labels_preserved(self):
+        parsed = asmtext.parse(asmtext.emit(build_sample_program()))
+        assert parsed.thread("main").labels == {"L0": 0}
+
+    def test_bindings_preserved(self):
+        parsed = asmtext.parse(asmtext.emit(build_sample_program()))
+        fork = parsed.thread("main").instructions[2].control_op()
+        assert fork.bindings == ((Reg(0, 0), Reg(0, 1)),
+                                 (Reg(0, 1), Imm(-2)))
+
+
+class TestParseOperation:
+    def test_two_destinations(self):
+        op = asmtext.parse_operation("iadd c0.r1 & c2.r3, c0.r0, #1")
+        assert op.dests == (Reg(0, 1), Reg(2, 3))
+
+    def test_branch_label(self):
+        op = asmtext.parse_operation("brf c4.r0, loop")
+        assert op.target == Label("loop")
+        assert op.srcs == (Reg(4, 0),)
+
+    def test_store(self):
+        op = asmtext.parse_operation("st c0.r1, c0.r2, #64")
+        assert op.srcs == (Reg(0, 1), Reg(0, 2), Imm(64))
+
+    def test_float_immediate(self):
+        op = asmtext.parse_operation("fadd c0.r0, c0.r1, #0.5")
+        assert op.srcs[1] == Imm(0.5)
+
+    def test_unknown_opcode(self):
+        with pytest.raises(AsmError):
+            asmtext.parse_operation("frobnicate c0.r0")
+
+
+class TestParseErrors:
+    def test_unterminated_word(self):
+        with pytest.raises(AsmError):
+            asmtext.parse(".thread main\n{\n  c4.bru0: halt\n")
+
+    def test_operation_outside_word(self):
+        with pytest.raises(AsmError):
+            asmtext.parse(".thread main\nc4.bru0: halt\n")
+
+    def test_duplicate_unit_in_word(self):
+        text = (".thread main\n{\n  c4.bru0: halt\n  c4.bru0: halt\n}\n")
+        with pytest.raises(AsmError):
+            asmtext.parse(text)
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(AsmError, match="line 2"):
+            asmtext.parse(".thread main\n}\n")
+
+    def test_comments_ignored(self):
+        text = ("; a comment\n.thread main\n{\n"
+                "  c4.bru0: halt ; trailing\n}\n")
+        program = asmtext.parse(text)
+        assert len(program.thread("main").instructions) == 1

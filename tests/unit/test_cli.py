@@ -1,0 +1,90 @@
+"""The top-level CLI (python -m repro)."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+SOURCE = """
+(program
+  (global x 4 :int)
+  (global out 4 :int)
+  (main
+    (for (i 0 4)
+      (aset! out i (* (aref x i) 3)))))
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "prog.sexp"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+def invoke(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestCompile:
+    def test_emits_assembly(self, source_file):
+        code, text = invoke(["compile", source_file, "--mode", "sts"])
+        assert code == 0
+        assert ".thread main" in text
+        assert ".symbol out 4 full" in text
+
+    def test_writes_output_file(self, source_file, tmp_path):
+        target = str(tmp_path / "prog.s")
+        code, text = invoke(["compile", source_file, "-o", target])
+        assert code == 0 and "wrote" in text
+        assert ".thread main" in open(target).read()
+
+    def test_report_flag(self, source_file):
+        __, text = invoke(["compile", source_file, "--report"])
+        assert "thread main" in text and "peak-regs" in text
+
+
+class TestRun:
+    def test_runs_and_prints_symbols(self, source_file):
+        code, text = invoke(["run", source_file, "--mode", "sts",
+                             "--set", "x=1,2,3,4", "--print", "out"])
+        assert code == 0
+        assert "out = [3, 6, 9, 12]" in text
+        assert "cycles:" in text
+
+    def test_runs_assembly_roundtrip(self, source_file, tmp_path):
+        target = str(tmp_path / "prog.s")
+        invoke(["compile", source_file, "--mode", "sts", "-o", target])
+        code, text = invoke(["run", target, "--asm",
+                             "--set", "x=2,2,2,2", "--print", "out"])
+        assert code == 0
+        assert "out = [6, 6, 6, 6]" in text
+
+    def test_trace_timeline(self, source_file):
+        __, text = invoke(["run", source_file, "--trace",
+                           "--window", "30"])
+        assert "c0.iu0" in text and "thread 0 (main)" in text
+
+    def test_memory_and_interconnect_flags(self, source_file):
+        code, text = invoke(["run", source_file, "--memory", "mem2",
+                             "--interconnect", "shared-bus",
+                             "--seed", "5", "--set", "x=1,1,1,1",
+                             "--print", "out"])
+        assert code == 0 and "out = [3, 3, 3, 3]" in text
+
+    def test_bad_override_syntax(self, source_file):
+        with pytest.raises(SystemExit):
+            invoke(["run", source_file, "--set", "x"])
+
+
+class TestInfo:
+    def test_modes(self):
+        __, text = invoke(["modes"])
+        assert "coupled" in text and "ideal" in text
+
+    def test_describe(self):
+        __, text = invoke(["describe", "--memory", "mem1"])
+        assert "cluster 0" in text and "mem1" in text

@@ -1,0 +1,174 @@
+"""Dependence graph construction, including affine alias analysis."""
+
+from repro.compiler.astnodes import FLOAT, GlobalDecl, INT, Num
+from repro.compiler.frontend import parse_stmt
+from repro.compiler.lowering import lower_thread
+from repro.compiler.schedule.ddg import build_ddg
+from repro.compiler.sexpr import read_one
+
+SYMBOLS = {
+    "F": GlobalDecl("F", Num(64), FLOAT, True),
+    "I": GlobalDecl("I", Num(64), INT, True),
+}
+
+
+def graph_for(text, block_index=0):
+    thread_ir = lower_thread("t", parse_stmt(read_one(text)), SYMBOLS, {})
+    block = thread_ir.blocks[block_index]
+    return build_ddg(block, lambda instr: 1), block
+
+
+def edges_of(graph, kind=None):
+    result = []
+    for succ, edges in enumerate(graph.preds):
+        for edge in edges:
+            if kind is None or edge.kind == kind:
+                result.append((edge.pred, edge.succ, edge.kind))
+    return result
+
+
+def mem_edge_pairs(graph):
+    return {(p, s) for p, s, __ in edges_of(graph, "mem")}
+
+
+def instr_index(graph, op, occurrence=0):
+    seen = 0
+    for index, instr in enumerate(graph.instrs):
+        if instr.op == op:
+            if seen == occurrence:
+                return index
+            seen += 1
+    raise AssertionError("no %s #%d" % (op, occurrence))
+
+
+class TestRegisterDependences:
+    def test_true_dependence(self):
+        graph, __ = graph_for("(let ((x (+ 1 2))) (aset! I 0 (* x 3)))")
+        kinds = {k for __, __, k in edges_of(graph)}
+        assert "true" in kinds
+
+    def test_anti_dependence_on_redefinition(self):
+        graph, __ = graph_for("""
+(let ((x 1))
+  (aset! I 0 (+ x 1))
+  (set! x 2))
+""")
+        assert edges_of(graph, "anti")
+
+    def test_output_dependence(self):
+        graph, __ = graph_for("(let ((x 1)) (set! x 2) (aset! I 0 x))")
+        assert edges_of(graph, "output")
+
+
+class TestMemoryOrdering:
+    def test_store_load_same_constant_index_ordered(self):
+        graph, __ = graph_for("""
+(begin
+  (aset! F 5 1.0)
+  (aset! F 0 (aref F 5)))
+""")
+        st = instr_index(graph, "st", 0)
+        ld = instr_index(graph, "ld", 0)
+        assert (st, ld) in mem_edge_pairs(graph)
+
+    def test_different_constant_indices_independent(self):
+        graph, __ = graph_for("""
+(begin
+  (aset! F 5 1.0)
+  (aset! F 0 (aref F 6)))
+""")
+        st = instr_index(graph, "st", 0)
+        ld = instr_index(graph, "ld", 0)
+        assert (st, ld) not in mem_edge_pairs(graph)
+
+    def test_different_symbols_independent(self):
+        graph, __ = graph_for("""
+(begin
+  (aset! I 5 1)
+  (aset! F 0 (aref F 5)))
+""")
+        st = instr_index(graph, "st", 0)
+        ld = instr_index(graph, "ld", 0)
+        assert (st, ld) not in mem_edge_pairs(graph)
+
+    def test_affine_offsets_disambiguate(self):
+        """A[i] store vs A[i+1] load: provably disjoint."""
+        graph, __ = graph_for("""
+(let ((i (aref I 0)))
+  (aset! F i 1.0)
+  (aset! F 63 (aref F (+ i 1))))
+""")
+        st = instr_index(graph, "st", 0)
+        ld = instr_index(graph, "ld", 1)   # load of F[i+1]
+        assert (st, ld) not in mem_edge_pairs(graph)
+
+    def test_same_affine_form_aliases(self):
+        graph, __ = graph_for("""
+(let ((i (aref I 0)))
+  (aset! F (+ i 1) 1.0)
+  (aset! F 63 (aref F (+ i 1))))
+""")
+        st = instr_index(graph, "st", 0)
+        ld = instr_index(graph, "ld", 1)
+        assert (st, ld) in mem_edge_pairs(graph)
+
+    def test_unrelated_bases_conservatively_alias(self):
+        graph, __ = graph_for("""
+(let ((i (aref I 0)) (j (aref I 1)))
+  (aset! F i 1.0)
+  (aset! F 63 (aref F j)))
+""")
+        st = instr_index(graph, "st", 0)
+        ld = instr_index(graph, "ld", 2)
+        assert (st, ld) in mem_edge_pairs(graph)
+
+    def test_loads_never_ordered_against_loads(self):
+        graph, __ = graph_for("""
+(aset! F 0 (+ (aref F 1) (aref F 1)))
+""")
+        ld0 = instr_index(graph, "ld", 0)
+        ld1 = instr_index(graph, "ld", 1)
+        assert (ld0, ld1) not in mem_edge_pairs(graph)
+
+
+class TestBarriers:
+    def test_sync_access_orders_all_memory(self):
+        graph, __ = graph_for("""
+(begin
+  (aset! F 1 1.0)
+  (aset-ef! I 0 1)
+  (aset! F 2 2.0))
+""")
+        st1 = instr_index(graph, "st", 0)
+        st_ef = instr_index(graph, "st_ef", 0)
+        st2 = instr_index(graph, "st", 1)
+        pairs = mem_edge_pairs(graph)
+        assert (st1, st_ef) in pairs
+        assert (st_ef, st2) in pairs
+
+    def test_fork_is_a_barrier(self):
+        from repro.compiler.lowering import lower_thread
+        from repro.compiler.frontend import parse_stmt
+        body = parse_stmt(read_one("""
+(begin
+  (aset! F 1 1.0)
+  (fork (w 0))
+  (aset! F 2 2.0))
+"""))
+        thread_ir = lower_thread("t", body, SYMBOLS, {"w": ["i"]})
+        graph = build_ddg(thread_ir.blocks[0], lambda instr: 1)
+        st1 = instr_index(graph, "st", 0)
+        fork = instr_index(graph, "fork", 0)
+        st2 = instr_index(graph, "st", 1)
+        pairs = mem_edge_pairs(graph)
+        assert (st1, fork) in pairs and (fork, st2) in pairs
+
+
+class TestPriorities:
+    def test_critical_path_priority_decreases_downstream(self):
+        graph, __ = graph_for(
+            "(let ((x (+ 1 2))) (aset! I 0 (* x 3)))")
+        priority = graph.priorities(lambda instr: 1)
+        add = instr_index(graph, "iadd", 0)
+        mul = instr_index(graph, "imul", 0)
+        assert priority[add] > priority[mul]

@@ -1,0 +1,133 @@
+"""The compile driver: modes, variants, reports, linking."""
+
+import pytest
+
+from repro.compiler import compile_program
+from repro.errors import CompileError
+from repro.isa.operations import UnitClass
+from repro.isa.instruction import parse_unit_id
+from repro.machine import baseline
+
+THREADED = """
+(program
+  (const N 8)
+  (global A N)
+  (global done N :int :empty)
+  (kernel work (i)
+    (aset! A i (float (* i 2)))
+    (aset-ef! done i 1))
+  (main
+    (forall (i 0 N) (work i))
+    (for (i 0 N)
+      (sync (aref-ff done i)))))
+"""
+
+SINGLE = """
+(program
+  (global out 4 :int)
+  (main
+    (for (i 0 4)
+      (aset! out i (* i i)))))
+"""
+
+
+class TestModes:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(CompileError):
+            compile_program(SINGLE, baseline(), mode="vliw")
+
+    def test_single_thread_modes_reject_forks(self):
+        for mode in ("seq", "sts", "ideal"):
+            with pytest.raises(CompileError, match="single-threaded"):
+                compile_program(THREADED, baseline(), mode=mode)
+
+    def test_seq_uses_only_cluster_zero(self):
+        compiled = compile_program(SINGLE, baseline(), mode="seq")
+        for word in compiled.program.thread("main").instructions:
+            for uid, __ in word:
+                cluster, kind, __ = parse_unit_id(uid)
+                if kind is not UnitClass.BRU:
+                    assert cluster == 0
+
+    def test_tpe_creates_pinned_variants(self):
+        compiled = compile_program(THREADED, baseline(), mode="tpe")
+        variants = [n for n in compiled.program.threads if "@" in n]
+        # 8 fork sites round-robin over 4 clusters -> 4 variants.
+        assert sorted(variants) == ["work@0", "work@1", "work@2",
+                                    "work@3"]
+        for variant in variants:
+            pin = int(variant.split("@")[1])
+            thread = compiled.program.thread(variant)
+            for word in thread.instructions:
+                for uid, __ in word:
+                    cluster, kind, __ = parse_unit_id(uid)
+                    if kind is not UnitClass.BRU:
+                        assert cluster == pin
+
+    def test_coupled_creates_rotation_variants(self):
+        compiled = compile_program(THREADED, baseline(), mode="coupled")
+        variants = [n for n in compiled.program.threads if "@" in n]
+        assert len(set(variants)) == 4
+
+    def test_cluster_hint_respected(self):
+        source = THREADED.replace("(fork (work i))",
+                                  "(fork (work i) :cluster 2)") \
+            if "(fork (work i))" in THREADED else THREADED
+        source = """
+(program
+  (global A 1)
+  (global done 1 :int :empty)
+  (kernel work (i) (aset! A 0 1.0) (aset-ef! done 0 1))
+  (main (fork (work 3) :cluster 2)
+        (sync (aref-ff done 0))))
+"""
+        compiled = compile_program(source, baseline(), mode="tpe")
+        assert "work@2" in compiled.program.threads
+
+
+class TestReports:
+    def test_reports_cover_all_threads(self):
+        compiled = compile_program(THREADED, baseline(), mode="coupled")
+        assert set(compiled.reports) == set(compiled.program.threads)
+
+    def test_peak_registers_positive(self):
+        compiled = compile_program(SINGLE, baseline(), mode="sts")
+        peaks = compiled.peak_registers()
+        assert peaks and all(v > 0 for v in peaks.values())
+
+    def test_static_operation_count(self):
+        compiled = compile_program(SINGLE, baseline(), mode="sts")
+        assert compiled.static_operation_count() == \
+            compiled.program.static_operation_count()
+
+    def test_optimization_flag_matters(self):
+        optimized = compile_program(SINGLE, baseline(), mode="sts")
+        raw = compile_program(SINGLE, baseline(), mode="sts",
+                              optimize=False)
+        assert raw.static_operation_count() >= \
+            optimized.static_operation_count()
+
+
+class TestLinking:
+    def test_fork_bindings_match_child_params(self):
+        compiled = compile_program(THREADED, baseline(), mode="coupled")
+        for thread in compiled.program.threads.values():
+            for word in thread.instructions:
+                for __, op in word:
+                    if op.spec.is_fork:
+                        child = compiled.program.thread(op.target.name)
+                        assert len(op.bindings) == len(child.param_regs)
+                        for (dest, __), param in zip(op.bindings,
+                                                     child.param_regs):
+                            assert dest == param
+
+    def test_data_segment_layout(self):
+        compiled = compile_program(THREADED, baseline(), mode="coupled")
+        data = compiled.program.data
+        assert data["A"].size == 8
+        assert data["done"].initially_full is False
+        assert data["done"].base == data["A"].base + 8
+
+    def test_program_validates(self):
+        compiled = compile_program(THREADED, baseline(), mode="tpe")
+        compiled.program.validate()

@@ -1,0 +1,113 @@
+"""Experiment harness plumbing: report rendering, runner caching, CLI."""
+
+import io
+
+import pytest
+
+from repro.experiments import paper, table2
+from repro.experiments.cli import main as experiments_main
+from repro.experiments.report import (format_bar_chart, format_grid,
+                                      format_table)
+from repro.experiments.runner import Harness
+from repro.machine import baseline
+
+
+class TestReportFormatting:
+    def test_table_alignment(self):
+        text = format_table(["name", "value"],
+                            [["a", 1], ["long-name", 2.5]],
+                            title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "long-name" in lines[4]
+        # The value column starts at the same offset in every row.
+        offset = lines[1].index("value")
+        assert lines[3].index("1") == offset
+        assert lines[4].index("2.50") == offset
+
+    def test_floats_rendered_two_places(self):
+        text = format_table(["x"], [[1.23456]])
+        assert "1.23" in text and "1.2345" not in text
+
+    def test_bar_chart_scales_to_peak(self):
+        text = format_bar_chart([("a", 10), ("b", 5)], width=20)
+        a_line, b_line = text.splitlines()
+        assert a_line.count("#") == 20
+        assert b_line.count("#") == 10
+
+    def test_bar_chart_empty(self):
+        assert format_bar_chart([], title="t") == "t"
+
+    def test_grid(self):
+        text = format_grid({("r1", "c1"): 5, ("r1", "c2"): 6},
+                           ["r1"], ["c1", "c2"])
+        assert "r1" in text and "5" in text and "6" in text
+
+
+class TestHarnessCaching:
+    def test_run_is_cached(self):
+        harness = Harness()
+        config = baseline()
+        first = harness.run("matrix", "seq", config)
+        second = harness.run("matrix", "seq", config)
+        assert first is second
+
+    def test_compile_shared_across_interconnects(self):
+        harness = Harness()
+        config = baseline()
+        a = harness.run("matrix", "seq", config)
+        b = harness.run("matrix", "seq",
+                        config.with_interconnect("tri-port"))
+        assert a is not b
+        assert a.compiled is b.compiled   # same schedule signature
+
+    def test_inputs_stable_per_benchmark(self):
+        harness = Harness(seed=3)
+        assert harness.inputs_for("fft") is harness.inputs_for("fft")
+
+    def test_validation_runs_by_default(self):
+        result = Harness().run("model", "seq", baseline())
+        assert result.verified
+
+
+class TestTable2Module:
+    def test_rows_cover_all_modes(self):
+        rows = table2.run(Harness())
+        keys = {(r["benchmark"], r["mode"]) for r in rows}
+        assert ("matrix", "ideal") in keys
+        assert ("lud", "ideal") not in keys      # no ideal LUD
+        assert len(keys) == 18
+
+    def test_render_includes_paper_columns(self):
+        rows = table2.run(Harness())
+        text = table2.render(rows)
+        assert "paper cycles" in text
+        assert "1992" in text                    # paper's Matrix SEQ
+
+    def test_figure4_renders_bars(self):
+        rows = table2.run(Harness())
+        text = table2.render_figure4(rows)
+        assert "Figure 4" in text and "#" in text
+
+
+class TestPaperData:
+    def test_mode_order(self):
+        assert paper.MODE_ORDER[0] == "seq"
+        assert paper.MODE_ORDER[-1] == "ideal"
+
+    def test_table2_is_consistent(self):
+        # Every benchmark has a coupled entry to normalize against.
+        benches = {b for b, __ in paper.TABLE2_CYCLES}
+        for bench in benches:
+            assert (bench, "coupled") in paper.TABLE2_CYCLES
+
+
+class TestCli:
+    def test_table3_target(self):
+        out = io.StringIO()
+        assert experiments_main(["table3"], out=out) == 0
+        assert "Table 3" in out.getvalue()
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SystemExit):
+            experiments_main(["table9"], out=io.StringIO())

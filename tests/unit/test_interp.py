@@ -1,0 +1,126 @@
+"""The reference interpreter."""
+
+import pytest
+
+from repro.compiler.interp import interpret
+from repro.errors import InterpError
+
+
+def run(body, globals_="(global A 8) (global I 8 :int)", overrides=None):
+    source = "(program %s (main %s))" % (globals_, body)
+    return interpret(source, overrides=overrides)
+
+
+class TestScalars:
+    def test_arithmetic_and_assignment(self):
+        result = run("(let ((x 3)) (set! x (* x x)) (aset! I 0 x))")
+        assert result.read_symbol("I")[0] == 9
+
+    def test_c_style_division(self):
+        result = run("(aset! I 0 (/ -7 2))")
+        assert result.read_symbol("I")[0] == -3
+
+    def test_float_semantics(self):
+        result = run("(aset! A 0 (/ 1.0 4.0))")
+        assert result.read_symbol("A")[0] == 0.25
+
+    def test_variable_keeps_float_type(self):
+        result = run("(let ((x 1.0)) (set! x (+ x 1)) (aset! A 0 x))")
+        assert result.read_symbol("A")[0] == 2.0
+
+    def test_narrowing_assignment_rejected(self):
+        with pytest.raises(InterpError, match="narrowing"):
+            run("(let ((i 1)) (set! i 1.5))")
+
+    def test_if_expression_typed_by_then_arm(self):
+        result = run("(aset! A 0 (if (< 2 1) 1.0 2))")
+        value = result.read_symbol("A")[0]
+        assert value == 2.0 and isinstance(value, float)
+
+
+class TestControl:
+    def test_while_loop(self):
+        result = run("""
+(let ((i 0) (total 0))
+  (while (< i 5)
+    (set! total (+ total i))
+    (set! i (+ i 1)))
+  (aset! I 0 total))
+""")
+        assert result.read_symbol("I")[0] == 10
+
+    def test_mutation_escapes_let_scope(self):
+        result = run("""
+(let ((x 1))
+  (let ((y 2))
+    (set! x (+ x y)))
+  (aset! I 0 x))
+""")
+        assert result.read_symbol("I")[0] == 3
+
+    def test_step_limit_catches_divergence(self):
+        with pytest.raises(InterpError, match="step limit"):
+            interpret("(program (main (while 1 (+ 1 1))))",
+                      max_steps=1000)
+
+
+class TestSyncSemantics:
+    def test_fe_load_consumes(self):
+        result = run("""
+(begin
+  (sync (aref-fe I 0))
+  (aset-ef! I 0 5))
+""", overrides={"I": [9, 0, 0, 0, 0, 0, 0, 0]})
+        assert result.read_symbol("I")[0] == 5
+        assert result.symbol_presence("I")[0] is True
+
+    def test_blocking_load_raises(self):
+        source = """
+(program (global flags 1 :int :empty)
+  (main (sync (aref-ff flags 0))))
+"""
+        with pytest.raises(InterpError, match="block"):
+            interpret(source)
+
+    def test_st_ef_on_full_raises(self):
+        with pytest.raises(InterpError, match="block"):
+            run("(aset-ef! I 0 1)")
+
+    def test_index_bounds_checked(self):
+        with pytest.raises(InterpError, match="range"):
+            run("(aset! I 99 1)")
+
+
+class TestForks:
+    SOURCE = """
+(program
+  (global A 4)
+  (kernel work (i (scale :float))
+    (aset! A i (* scale (float i))))
+  (main
+    (forall (i 0 4) (work i 2.5))))
+"""
+
+    def test_forks_run_inline(self):
+        result = interpret(self.SOURCE)
+        assert result.read_symbol("A") == [0.0, 2.5, 5.0, 7.5]
+
+    def test_fork_coerces_param_types(self):
+        source = self.SOURCE.replace("(work i 2.5)", "(work i 3)")
+        result = interpret(source)
+        assert result.read_symbol("A")[1] == 3.0
+
+
+class TestOverrides:
+    def test_override_values_visible(self):
+        result = run("(aset! I 0 (+ (aref I 1) 1))",
+                     overrides={"I": [0, 41, 0, 0, 0, 0, 0, 0]})
+        assert result.read_symbol("I")[0] == 42
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(InterpError):
+            run("(aset! I 0 1)", overrides={"I": [1, 2]})
+
+    def test_unknown_symbol_rejected(self):
+        with pytest.raises(InterpError):
+            run("(aset! I 0 1)", overrides={"ghost": [1]})

@@ -1,0 +1,65 @@
+"""Liveness analysis over home registers."""
+
+from repro.compiler.astnodes import GlobalDecl, INT, Num
+from repro.compiler import liveness
+from repro.compiler.frontend import parse_stmt
+from repro.compiler.lowering import lower_thread
+from repro.compiler.sexpr import read_one
+
+SYMBOLS = {"I": GlobalDecl("I", Num(8), INT, True)}
+
+
+def lowered(text):
+    return lower_thread("t", parse_stmt(read_one(text)), SYMBOLS, {})
+
+
+def home_of(thread_ir, name):
+    return thread_ir.homes[name].id
+
+
+class TestLiveness:
+    def test_loop_variable_live_around_backedge(self):
+        thread_ir = lowered("""
+(let ((i 0))
+  (while (< i 4)
+    (set! i (+ i 1)))
+  (aset! I 0 i))
+""")
+        live_in, live_out = liveness.analyze(thread_ir)
+        i_id = home_of(thread_ir, "i")
+        header = next(b for b in thread_ir.blocks
+                      if b.name.startswith("h"))
+        assert i_id in live_in[header.name]
+        assert i_id in live_out[header.name]
+
+    def test_dead_after_last_use(self):
+        thread_ir = lowered("""
+(let ((x 1))
+  (aset! I 0 x)
+  (let ((y 2))
+    (aset! I 1 y)))
+""")
+        live_in, live_out = liveness.analyze(thread_ir)
+        x_id = home_of(thread_ir, "x")
+        last = thread_ir.blocks[-1]
+        assert x_id not in live_out[last.name]
+
+    def test_value_defined_in_branch_live_at_join(self):
+        thread_ir = lowered("""
+(let ((x 1))
+  (if (aref I 0) (set! x 2) (set! x 3))
+  (aset! I 1 x))
+""")
+        live_in, __ = liveness.analyze(thread_ir)
+        x_id = home_of(thread_ir, "x")
+        join = next(b for b in thread_ir.blocks if b.name.startswith("j"))
+        assert x_id in live_in[join.name]
+
+    def test_use_def_sets(self):
+        thread_ir = lowered("(let ((x 1)) (set! x (+ x 1)))")
+        block = thread_ir.blocks[0]
+        use, defs = liveness.block_use_def(block)
+        x_id = home_of(thread_ir, "x")
+        assert x_id in defs
+        # x is defined before used within the block.
+        assert x_id not in use

@@ -1,0 +1,151 @@
+"""Lowering to IR: type inference, CFG construction, opcode choice."""
+
+import pytest
+
+from repro.compiler.astnodes import FLOAT, GlobalDecl, INT, Num
+from repro.compiler.frontend import parse_stmt
+from repro.compiler.lowering import lower_thread
+from repro.compiler.sexpr import read_one
+from repro.errors import CompileError
+
+SYMBOLS = {
+    "F": GlobalDecl("F", Num(8), FLOAT, True),
+    "I": GlobalDecl("I", Num(8), INT, True),
+}
+
+
+def lower(text, params=(), signatures=None):
+    body = parse_stmt(read_one(text))
+    return lower_thread("t", body, SYMBOLS, signatures or {}, params)
+
+
+def all_ops(thread_ir):
+    return [instr.op for block in thread_ir.blocks
+            for instr in block.all_instrs()]
+
+
+class TestTypes:
+    def test_integer_arithmetic_selects_iu_ops(self):
+        ops = all_ops(lower("(let ((x 1)) (set! x (+ x 2)))"))
+        assert "iadd" in ops and "fadd" not in ops
+
+    def test_float_arithmetic_selects_fpu_ops(self):
+        ops = all_ops(lower("(let ((x 1.0)) (set! x (* x 2.0)))"))
+        assert "fmul" in ops
+
+    def test_mixed_operands_widen_via_itof(self):
+        ops = all_ops(lower(
+            "(let ((i 3) (x 0.5)) (set! x (* x (float i))))"))
+        assert "itof" in ops and "fmul" in ops
+
+    def test_mixed_binop_widen_automatically(self):
+        ops = all_ops(lower("(let ((i 3) (x (+ i 0.5))) (aset! F 0 x))"))
+        assert "itof" in ops or "fadd" in ops
+
+    def test_float_to_int_requires_explicit_cast(self):
+        with pytest.raises(CompileError, match="narrowing"):
+            lower("(let ((i 0)) (set! i (aref F 0)))")
+
+    def test_explicit_int_cast(self):
+        ops = all_ops(lower("(let ((i (int (aref F 0)))) (aset! I 0 i))"))
+        assert "ftoi" in ops
+
+    def test_comparison_result_is_int(self):
+        thread_ir = lower("(let ((c (< 1.0 2.0))) (aset! I 0 c))")
+        ops = all_ops(thread_ir)
+        assert "flt" in ops
+
+    def test_float_index_rejected(self):
+        with pytest.raises(CompileError, match="integer"):
+            lower("(aset! F (aref F 0) 1.0)")
+
+    def test_store_coerces_value_type(self):
+        ops = all_ops(lower("(aset! F 0 3)"))
+        assert "st" in ops
+
+    def test_int_store_of_float_rejected(self):
+        with pytest.raises(CompileError):
+            lower("(aset! I 0 1.5)")
+
+
+class TestControlFlow:
+    def test_while_produces_loop_blocks(self):
+        thread_ir = lower(
+            "(let ((i 0)) (while (< i 4) (set! i (+ i 1))))")
+        names = [b.name for b in thread_ir.blocks]
+        assert any(n.startswith("h") for n in names)
+        assert any(n.startswith("x") for n in names)
+        back_edges = [b.terminator.target for b in thread_ir.blocks
+                      if b.terminator is not None
+                      and b.terminator.op == "br"]
+        assert any(t.startswith("h") for t in back_edges)
+
+    def test_if_produces_brf(self):
+        thread_ir = lower("(if (< 1 2) (aset! I 0 1) (aset! I 0 2))")
+        terminators = [b.terminator.op for b in thread_ir.blocks
+                       if b.terminator is not None]
+        assert "brf" in terminators
+
+    def test_thread_always_ends_in_halt(self):
+        thread_ir = lower("(aset! I 0 1)")
+        assert thread_ir.blocks[-1].terminator.op == "halt"
+
+    def test_if_expression_creates_join_home(self):
+        thread_ir = lower("(aset! F 0 (if (< 1 2) 1.0 2.0))")
+        homes = [instr.dest for block in thread_ir.blocks
+                 for instr in block.all_instrs()
+                 if instr.dest is not None and instr.dest.is_home]
+        assert homes, "ternary join value must be a home register"
+
+    def test_if_expression_arm_type_mismatch(self):
+        with pytest.raises(CompileError):
+            lower("(aset! F 0 (if (< 1 2) 1 2.5))")
+
+
+class TestMemoryAndSync:
+    def test_load_flavors(self):
+        assert "ld_fe" in all_ops(lower("(sync (aref-fe I 0))"))
+        assert "ld_ff" in all_ops(lower("(sync (aref-ff I 0))"))
+
+    def test_store_flavors(self):
+        assert "st_ef" in all_ops(lower("(aset-ef! I 0 1)"))
+
+    def test_sync_emits_sink(self):
+        assert "sink" in all_ops(lower("(sync (aref I 0))"))
+
+    def test_sync_of_constant_is_noop(self):
+        assert "sink" not in all_ops(lower("(sync 5)"))
+
+    def test_unknown_array_rejected(self):
+        with pytest.raises(CompileError, match="unknown array"):
+            lower("(aset! ghost 0 1)")
+
+
+class TestForkLowering:
+    def test_fork_coerces_arguments(self):
+        thread_ir = lower("(fork (w 1 2))",
+                          signatures={"w": [INT, FLOAT]})
+        forks = [i for b in thread_ir.blocks for i in b.all_instrs()
+                 if i.op == "fork"]
+        assert len(forks) == 1
+        assert forks[0].fork_args[1].value == 2.0
+
+    def test_fork_arity_checked(self):
+        with pytest.raises(CompileError):
+            lower("(fork (w 1))", signatures={"w": [INT, INT]})
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(CompileError):
+            lower("(fork (ghost 1))")
+
+
+class TestParams:
+    def test_params_become_homes(self):
+        thread_ir = lower("(aset! F 0 x)", params=(("i", INT),
+                                                   ("x", FLOAT)))
+        assert [name for name, __ in thread_ir.params] == ["i", "x"]
+        assert thread_ir.params[1][1].type is FLOAT
+
+    def test_unbound_variable_rejected(self):
+        with pytest.raises(CompileError, match="unbound"):
+            lower("(aset! I 0 nowhere)")

@@ -1,0 +1,63 @@
+"""Statistical memory model parameters and latency draws."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.machine.memory import MemorySpec, mem1, mem2, min_memory
+
+
+class TestSpecs:
+    def test_min_never_misses(self):
+        spec = min_memory()
+        rng = random.Random(0)
+        assert all(spec.draw_latency(rng) == 1 for __ in range(100))
+
+    def test_mem1_parameters(self):
+        spec = mem1()
+        assert spec.miss_rate == 0.05
+        assert (spec.miss_penalty_min, spec.miss_penalty_max) == (20, 100)
+
+    def test_mem2_doubles_miss_rate(self):
+        assert mem2().miss_rate == 2 * mem1().miss_rate
+
+    def test_draws_within_range(self):
+        spec = mem1()
+        rng = random.Random(1)
+        draws = [spec.draw_latency(rng) for __ in range(3000)]
+        misses = [d for d in draws if d > 1]
+        assert misses, "a 5% miss rate must produce misses in 3000 draws"
+        assert all(21 <= d <= 101 for d in misses)
+
+    def test_miss_rate_statistics(self):
+        spec = mem2()
+        rng = random.Random(2)
+        draws = [spec.draw_latency(rng) for __ in range(20000)]
+        rate = sum(1 for d in draws if d > 1) / len(draws)
+        assert 0.08 < rate < 0.12
+
+    def test_deterministic_given_seed(self):
+        spec = mem1()
+        a = [spec.draw_latency(random.Random(42)) for __ in range(1)]
+        b = [spec.draw_latency(random.Random(42)) for __ in range(1)]
+        assert a == b
+
+
+class TestValidation:
+    def test_zero_hit_latency_rejected(self):
+        with pytest.raises(ConfigError):
+            MemorySpec(hit_latency=0)
+
+    def test_bad_miss_rate_rejected(self):
+        with pytest.raises(ConfigError):
+            MemorySpec(miss_rate=1.5)
+
+    def test_inverted_penalty_rejected(self):
+        with pytest.raises(ConfigError):
+            MemorySpec(miss_rate=0.1, miss_penalty_min=10,
+                       miss_penalty_max=5)
+
+    def test_miss_without_penalty_rejected(self):
+        with pytest.raises(ConfigError):
+            MemorySpec(miss_rate=0.1)

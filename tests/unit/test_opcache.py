@@ -1,0 +1,93 @@
+"""Operation caches (the relaxed no-I-cache-miss assumption)."""
+
+import pytest
+
+from repro import baseline, compile_program, run_program
+from repro.errors import ConfigError
+from repro.sim.opcache import OpCacheSpec, OperationCache
+from repro.sim.stats import Stats
+
+SOURCE = """
+(program
+  (global out 4 :int)
+  (main
+    (for (i 0 4)
+      (aset! out i (+ i 1)))))
+"""
+
+
+class FakeThread:
+    def __init__(self, name, ip):
+        class P:
+            pass
+        self.program = P()
+        self.program.name = name
+        self.ip = ip
+
+
+class TestSpec:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            OpCacheSpec(capacity=0)
+        with pytest.raises(ConfigError):
+            OpCacheSpec(fill_penalty=0)
+
+
+class TestCacheBehaviour:
+    def test_miss_then_fill_then_hit(self):
+        cache = OperationCache(OpCacheSpec(capacity=4, fill_penalty=3),
+                               Stats())
+        thread = FakeThread("main", 0)
+        assert not cache.ready(thread, 0)      # miss, fill starts
+        assert not cache.ready(thread, 1)      # filling
+        assert not cache.ready(thread, 2)
+        assert cache.ready(thread, 3)          # fill complete
+        assert cache.ready(thread, 4)          # now resident
+
+    def test_lru_eviction(self):
+        cache = OperationCache(OpCacheSpec(capacity=2, fill_penalty=1),
+                               Stats())
+        for word in range(3):
+            thread = FakeThread("main", word)
+            cache.ready(thread, 0)
+            assert cache.ready(thread, 1)
+        assert cache.resident_words() == 2
+        # Word 0 was evicted; touching it misses again.
+        stats_before = cache.stats.opcache_misses
+        assert not cache.ready(FakeThread("main", 0), 10)
+        assert cache.stats.opcache_misses == stats_before + 1
+
+    def test_threads_share_lines_by_program(self):
+        cache = OperationCache(OpCacheSpec(capacity=4, fill_penalty=1),
+                               Stats())
+        a = FakeThread("work@0", 3)
+        b = FakeThread("work@0", 3)
+        cache.ready(a, 0)
+        assert cache.ready(a, 1)
+        assert cache.ready(b, 2)        # same program+word: warm
+
+
+class TestEndToEnd:
+    def test_results_unaffected(self):
+        config = baseline().with_op_cache(OpCacheSpec(capacity=8,
+                                                      fill_penalty=5))
+        compiled = compile_program(SOURCE, config, mode="sts")
+        result = run_program(compiled.program, config)
+        assert result.read_symbol("out") == [1, 2, 3, 4]
+        assert result.stats.opcache_misses > 0
+
+    def test_cold_misses_cost_cycles(self):
+        perfect = baseline()
+        cold = baseline().with_op_cache(OpCacheSpec(capacity=64,
+                                                    fill_penalty=8))
+        a = run_program(compile_program(SOURCE, perfect,
+                                        mode="sts").program, perfect)
+        b = run_program(compile_program(SOURCE, cold,
+                                        mode="sts").program, cold)
+        assert b.cycles > a.cycles
+
+    def test_derivation_preserves_op_cache(self):
+        spec = OpCacheSpec(capacity=16)
+        config = baseline().with_op_cache(spec).with_memory(
+            baseline().memory).with_seed(9)
+        assert config.op_cache is spec

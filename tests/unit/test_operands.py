@@ -1,0 +1,58 @@
+"""Register/immediate/label operand behaviour."""
+
+import pytest
+
+from repro.isa.operands import (Imm, Label, Reg, is_source, parse_operand,
+                                parse_reg)
+
+
+class TestReg:
+    def test_str(self):
+        assert str(Reg(2, 17)) == "c2.r17"
+
+    def test_equality_and_hash(self):
+        assert Reg(1, 2) == Reg(1, 2)
+        assert Reg(1, 2) != Reg(2, 2)
+        assert len({Reg(0, 0), Reg(0, 0), Reg(0, 1)}) == 2
+
+    def test_ordering(self):
+        assert Reg(0, 5) < Reg(1, 0)
+        assert Reg(1, 1) < Reg(1, 2)
+
+    def test_parse_roundtrip(self):
+        reg = Reg(3, 42)
+        assert parse_reg(str(reg)) == reg
+
+    @pytest.mark.parametrize("text", ["r5", "c1r5", "x0.r1", "c.r1"])
+    def test_parse_rejects_malformed(self, text):
+        with pytest.raises(ValueError):
+            parse_reg(text)
+
+
+class TestImm:
+    def test_int_roundtrip(self):
+        assert parse_operand("#42") == Imm(42)
+        assert parse_operand("#-7") == Imm(-7)
+
+    def test_float_roundtrip(self):
+        assert parse_operand("#2.5") == Imm(2.5)
+        assert parse_operand("#-0.125") == Imm(-0.125)
+
+    def test_str_is_parseable(self):
+        for value in (3, -1, 0.5, 2.0):
+            assert parse_operand(str(Imm(value))) == Imm(value)
+
+    def test_float_int_imms_distinct(self):
+        assert Imm(1) != Imm(1.0) or isinstance(Imm(1).value, int)
+
+
+class TestSources:
+    def test_regs_and_imms_are_sources(self):
+        assert is_source(Reg(0, 0))
+        assert is_source(Imm(1))
+
+    def test_labels_are_not_sources(self):
+        assert not is_source(Label("L0"))
+
+    def test_parse_operand_register(self):
+        assert parse_operand(" c0.r3 ") == Reg(0, 3)

@@ -1,0 +1,192 @@
+"""The list scheduler: slot assignment, fixups, mode restrictions."""
+
+import pytest
+
+from repro.compiler import liveness
+from repro.compiler.astnodes import FLOAT, GlobalDecl, INT, Num
+from repro.compiler.frontend import parse_stmt
+from repro.compiler.lowering import lower_thread
+from repro.compiler.optimize import optimize_thread
+from repro.compiler.schedule.modes import (ThreadScheduleSpec, main_spec,
+                                           thread_spec)
+from repro.compiler.schedule.scheduler import ThreadScheduler
+from repro.errors import CompileError
+from repro.isa.operations import UnitClass
+from repro.machine import baseline, unit_mix
+
+SYMBOLS = {
+    "F": GlobalDecl("F", Num(64), FLOAT, True),
+    "I": GlobalDecl("I", Num(64), INT, True),
+}
+
+
+def schedule(text, config=None, spec=None, optimize=True):
+    config = config or baseline()
+    spec = spec or ThreadScheduleSpec(tuple(config.arithmetic_clusters()))
+    thread_ir = lower_thread("t", parse_stmt(parse(text)), SYMBOLS, {})
+    if optimize:
+        optimize_thread(thread_ir)
+    live_in, __ = liveness.analyze(thread_ir)
+    return ThreadScheduler(thread_ir, config, spec, live_in).schedule()
+
+
+def parse(text):
+    from repro.compiler.sexpr import read_one
+    return read_one(text)
+
+
+def all_entries(scheduled):
+    for block in scheduled.blocks:
+        yield from block.entries()
+
+
+class TestBasicPlacement:
+    def test_each_slot_used_once_per_row(self):
+        scheduled = schedule("""
+(begin
+  (aset! F 0 (+ (aref F 1) (aref F 2)))
+  (aset! F 3 (* (aref F 4) (aref F 5))))
+""")
+        for block in scheduled.blocks:
+            for row, entries in block.rows.items():
+                slots = [(e.cluster, e.kind, e.unit_index)
+                         for e in entries]
+                assert len(slots) == len(set(slots))
+
+    def test_dependent_ops_in_strictly_later_rows(self):
+        scheduled = schedule(
+            "(let ((x (+ 1 (aref I 0)))) (aset! I 1 (* x 2)))")
+        for block in scheduled.blocks:
+            producers = {}
+            for entry in block.entries():
+                for vreg, __ in entry.dests:
+                    producers.setdefault(vreg.id, entry.row)
+            for entry in block.entries():
+                for operand in entry.srcs:
+                    if hasattr(operand, "vreg") \
+                            and operand.vreg.id in producers:
+                        if entry.op in ("imov", "fmov") \
+                                and entry.dests \
+                                and entry.dests[0][0].id \
+                                == operand.vreg.id:
+                            continue
+                        assert entry.row > producers[operand.vreg.id]
+
+    def test_one_control_op_per_row(self):
+        scheduled = schedule("""
+(let ((i 0))
+  (while (< i 3)
+    (set! i (+ i 1))))
+""")
+        for block in scheduled.blocks:
+            for row, entries in block.rows.items():
+                controls = [e for e in entries
+                            if e.kind is UnitClass.BRU]
+                assert len(controls) <= 1
+
+    def test_terminator_in_last_row(self):
+        scheduled = schedule("(aset! I 0 (+ (aref I 1) 1))")
+        last = scheduled.blocks[-1]
+        halt_rows = [e.row for e in last.entries() if e.op == "halt"]
+        assert halt_rows and halt_rows[0] == last.max_row()
+
+
+class TestLocality:
+    def test_sources_local_to_executing_cluster(self):
+        scheduled = schedule("""
+(let ((a (aref F 0)) (b (aref F 1)))
+  (aset! F 2 (+ a b))
+  (aset! F 3 (- a b)))
+""")
+        for entry in all_entries(scheduled):
+            if entry.op == "fork":
+                continue
+            for operand in entry.srcs:
+                if hasattr(operand, "vreg"):
+                    assert operand.cluster == entry.cluster, entry.op
+
+    def test_remote_consumers_served_by_dual_dest_or_move(self):
+        """Wide code on 4 clusters must communicate only via second
+        destinations or explicit moves; verified by locality above plus
+        at most 2 dests per op here."""
+        scheduled = schedule("""
+(let ((a (aref F 0)))
+  (aset! F 1 (+ a 1.0))
+  (aset! F 2 (+ a 2.0))
+  (aset! F 3 (+ a 3.0))
+  (aset! F 4 (+ a 4.0)))
+""")
+        for entry in all_entries(scheduled):
+            assert len(entry.dests) <= 2
+
+    def test_branch_condition_reaches_branch_cluster(self):
+        config = baseline()
+        scheduled = schedule("""
+(let ((i 0))
+  (while (< i 3)
+    (set! i (+ i 1))))
+""", config=config)
+        for entry in all_entries(scheduled):
+            if entry.op in ("brt", "brf"):
+                assert entry.cluster in config.branch_clusters()
+                cond = entry.srcs[0]
+                assert cond.cluster == entry.cluster
+
+
+class TestModes:
+    def test_seq_mode_uses_one_arithmetic_cluster(self):
+        config = baseline()
+        spec = main_spec("seq", config)
+        scheduled = schedule("""
+(begin
+  (aset! F 0 (+ (aref F 1) (aref F 2)))
+  (aset! F 3 (* (aref F 4) (aref F 5))))
+""", config=config, spec=spec)
+        used = {e.cluster for e in all_entries(scheduled)
+                if e.kind is not UnitClass.BRU}
+        assert used <= {config.arithmetic_clusters()[0]}
+
+    def test_unrestricted_mode_spreads_independent_work(self):
+        config = baseline()
+        spec = main_spec("sts", config)
+        scheduled = schedule("""
+(begin
+  (aset! F 0 (+ (aref F 8) 1.0))
+  (aset! F 1 (+ (aref F 9) 2.0))
+  (aset! F 2 (+ (aref F 10) 3.0))
+  (aset! F 3 (+ (aref F 11) 4.0)))
+""", config=config, spec=spec)
+        used = {e.cluster for e in all_entries(scheduled)
+                if e.kind is not UnitClass.BRU}
+        assert len(used) > 1
+
+    def test_tpe_pin_must_be_arithmetic(self):
+        config = baseline()
+        with pytest.raises(CompileError):
+            thread_spec("tpe", config, placement=4)   # a branch cluster
+
+    def test_coupled_rotation(self):
+        config = baseline()
+        assert thread_spec("coupled", config, 1).allowed_clusters == \
+            (1, 2, 3, 0)
+
+    def test_no_fpu_in_allowance_rejected(self):
+        config = unit_mix(1, 1)
+        spec = ThreadScheduleSpec((1,))    # cluster 1 has IU? no: mem-only
+        with pytest.raises(CompileError):
+            schedule("(aset! F 0 (+ (aref F 1) 2.0))", config=config,
+                     spec=spec)
+
+
+class TestMemOnlyClusters:
+    def test_mix_config_schedules_float_code(self):
+        """With 1 IU / 1 FPU / 4 MEM units the scheduler must route
+        values into memory-only clusters for their memory units."""
+        config = unit_mix(1, 1)
+        spec = ThreadScheduleSpec(tuple(config.arithmetic_clusters()))
+        scheduled = schedule("""
+(begin
+  (aset! F 0 (+ (aref F 8) (aref F 9)))
+  (aset! F 1 (+ (aref F 10) (aref F 11))))
+""", config=config, spec=spec)
+        assert scheduled.n_words() > 0

@@ -1,0 +1,83 @@
+"""Per-cycle writeback port/bus arbitration."""
+
+from repro.machine.interconnect import CommScheme, InterconnectSpec
+from repro.sim.interconnect import WritebackNetwork
+from repro.sim.stats import Stats
+
+
+def network(scheme, n_clusters=4):
+    stats = Stats()
+    spec = InterconnectSpec.from_scheme(scheme)
+    return WritebackNetwork(spec, n_clusters, stats), stats
+
+
+class TestFull:
+    def test_unlimited(self):
+        net, __ = network(CommScheme.FULL)
+        assert all(net.try_grant(0, 1) for __ in range(50))
+        assert all(net.try_grant(2, 2) for __ in range(50))
+
+
+class TestTriPort:
+    def test_two_remote_writes_per_file(self):
+        net, stats = network(CommScheme.TRI_PORT)
+        assert net.try_grant(0, 1)
+        assert net.try_grant(2, 1)
+        assert not net.try_grant(3, 1)      # both global ports used
+        assert stats.writeback_conflicts == 1
+
+    def test_local_writes_unthrottled(self):
+        net, __ = network(CommScheme.TRI_PORT)
+        assert all(net.try_grant(1, 1) for __ in range(10))
+
+    def test_ports_reset_each_cycle(self):
+        net, __ = network(CommScheme.TRI_PORT)
+        net.try_grant(0, 1)
+        net.try_grant(2, 1)
+        assert not net.try_grant(3, 1)
+        net.new_cycle()
+        assert net.try_grant(3, 1)
+
+    def test_files_independent(self):
+        net, __ = network(CommScheme.TRI_PORT)
+        assert net.try_grant(0, 1) and net.try_grant(2, 1)
+        assert net.try_grant(0, 2) and net.try_grant(1, 2)
+
+
+class TestDualPort:
+    def test_one_remote_write_per_file(self):
+        net, __ = network(CommScheme.DUAL_PORT)
+        assert net.try_grant(0, 1)
+        assert not net.try_grant(2, 1)
+
+
+class TestSinglePort:
+    def test_local_and_remote_share_the_port(self):
+        net, __ = network(CommScheme.SINGLE_PORT)
+        assert net.try_grant(1, 1)          # local takes the only port
+        assert not net.try_grant(0, 1)      # remote rejected
+        assert net.try_grant(0, 2)          # other file unaffected
+
+
+class TestSharedBus:
+    def test_one_remote_write_machine_wide(self):
+        net, __ = network(CommScheme.SHARED_BUS)
+        assert net.try_grant(0, 1)
+        assert not net.try_grant(2, 3)      # bus already used
+        assert net.try_grant(3, 3)          # local writes bypass the bus
+
+    def test_bus_frees_next_cycle(self):
+        net, __ = network(CommScheme.SHARED_BUS)
+        assert net.try_grant(0, 1)
+        net.new_cycle()
+        assert net.try_grant(2, 3)
+
+
+class TestAreaModel:
+    def test_restricted_schemes_are_smaller(self):
+        for scheme in CommScheme:
+            spec = InterconnectSpec.from_scheme(scheme)
+            area = spec.relative_area(4, 3)
+            assert 0 < area <= 1.0
+            if scheme is not CommScheme.FULL:
+                assert area < 0.6

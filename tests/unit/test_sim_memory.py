@@ -1,0 +1,176 @@
+"""The split-transaction, presence-bit memory system."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.isa.instruction import Operation
+from repro.isa.operands import Imm, Reg
+from repro.machine.memory import MemorySpec, min_memory
+from repro.sim.memory import MemRequest, MemorySystem
+from repro.sim.stats import Stats
+
+
+class FakeThread:
+    tid = 0
+
+
+def load_op(name="ld"):
+    return Operation(name, dests=(Reg(0, 0),), srcs=(Imm(0), Imm(0)))
+
+
+def store_op(name="st"):
+    return Operation(name, srcs=(Imm(0), Imm(0), Imm(0)))
+
+
+def make_memory(spec=None, seed=0):
+    return MemorySystem(spec or min_memory(), random.Random(seed),
+                        Stats(), size=256)
+
+
+def submit(memory, op, addr, value=None, cycle=0):
+    request = MemRequest(FakeThread(), op, None, addr, store_value=value)
+    memory.submit(request, cycle)
+    return request
+
+
+def run_until(memory, cycle_limit=500, start=0):
+    completed = []
+    for cycle in range(start, cycle_limit):
+        completed.extend(memory.tick(cycle))
+        if memory.idle():
+            break
+    return completed
+
+
+class TestBasicAccess:
+    def test_load_returns_poked_value(self):
+        memory = make_memory()
+        memory.poke(5, 99)
+        request = submit(memory, load_op(), 5)
+        run_until(memory)
+        assert request.value == 99
+
+    def test_store_then_load(self):
+        memory = make_memory()
+        submit(memory, store_op(), 7, value=13)
+        run_until(memory)
+        assert memory.peek(7) == 13
+        assert memory.is_full(7)
+
+    def test_default_value_is_zero(self):
+        memory = make_memory()
+        request = submit(memory, load_op(), 17)
+        run_until(memory)
+        assert request.value == 0
+
+    def test_address_range_checked(self):
+        memory = make_memory()
+        with pytest.raises(SimulationError):
+            memory.poke(4096, 1)
+        with pytest.raises(SimulationError):
+            submit(memory, load_op(), -1)
+
+
+class TestTable1Synchronization:
+    def test_ld_ff_parks_until_full(self):
+        memory = make_memory()
+        memory.poke(3, 0, full=False)
+        request = submit(memory, load_op("ld_ff"), 3)
+        memory.tick(0)
+        assert not memory.idle()
+        assert request.value is None
+        submit(memory, store_op(), 3, value=8, cycle=1)
+        run_until(memory, start=1)
+        assert request.value == 8
+
+    def test_ld_fe_empties_location(self):
+        memory = make_memory()
+        memory.poke(4, 11)
+        submit(memory, load_op("ld_fe"), 4)
+        run_until(memory)
+        assert not memory.is_full(4)
+
+    def test_st_ef_waits_for_empty(self):
+        memory = make_memory()
+        memory.poke(2, 5)                       # full
+        submit(memory, store_op("st_ef"), 2, value=6)
+        memory.tick(0)
+        assert memory.peek(2) == 5              # parked, not applied
+        submit(memory, load_op("ld_fe"), 2, cycle=1)
+        run_until(memory, start=1)
+        assert memory.peek(2) == 6
+        assert memory.is_full(2)
+
+    def test_st_ff_updates_in_place(self):
+        memory = make_memory()
+        memory.poke(9, 1)
+        submit(memory, store_op("st_ff"), 9, value=2)
+        run_until(memory)
+        assert memory.peek(9) == 2 and memory.is_full(9)
+
+    def test_two_ld_fe_waiters_serialize(self):
+        """Two consuming loads on one full cell: exactly one wins; the
+        other parks until a store refills the cell."""
+        memory = make_memory()
+        memory.poke(1, 7)
+        first = submit(memory, load_op("ld_fe"), 1, cycle=0)
+        second = submit(memory, load_op("ld_fe"), 1, cycle=0)
+        for cycle in range(0, 5):
+            memory.tick(cycle)
+        winners = [r for r in (first, second) if r.value is not None]
+        assert len(winners) == 1
+        submit(memory, store_op(), 1, value=20, cycle=6)
+        run_until(memory, start=6)
+        assert {first.value, second.value} == {7, 20}
+
+    def test_parked_summary_mentions_address(self):
+        memory = make_memory()
+        memory.poke(3, 0, full=False)
+        submit(memory, load_op("ld_ff"), 3)
+        memory.tick(0)
+        assert any("addr 3" in line for line in memory.parked_summary())
+
+
+class TestPerAddressOrdering:
+    def test_same_address_requests_serialize_in_order(self):
+        spec = MemorySpec("slow", hit_latency=5)
+        memory = make_memory(spec)
+        store = submit(memory, store_op(), 8, value=77, cycle=0)
+        load = submit(memory, load_op(), 8, cycle=0)
+        run_until(memory, 100)
+        assert load.value == 77      # load queued behind the store
+
+    def test_different_addresses_concurrent(self):
+        spec = MemorySpec("slow", hit_latency=5)
+        memory = make_memory(spec)
+        a = submit(memory, load_op(), 1, cycle=0)
+        b = submit(memory, load_op(), 2, cycle=0)
+        memory.tick(0)
+        for cycle in range(1, 5):
+            memory.tick(cycle)
+        assert a.value is not None and b.value is not None
+
+
+class TestStatisticalLatency:
+    def test_miss_penalty_delays_completion(self):
+        spec = MemorySpec("always-miss", miss_rate=1.0,
+                          miss_penalty_min=10, miss_penalty_max=10)
+        memory = make_memory(spec)
+        request = submit(memory, load_op(), 0, cycle=0)
+        for cycle in range(0, 10):
+            memory.tick(cycle)
+            assert request.value is None
+        memory.tick(10)
+        assert request.value is not None
+
+    def test_stats_count_misses(self):
+        spec = MemorySpec("always-miss", miss_rate=1.0,
+                          miss_penalty_min=5, miss_penalty_max=5)
+        stats = Stats()
+        memory = MemorySystem(spec, random.Random(0), stats, size=64)
+        submit(memory, load_op(), 0)
+        run_until(memory)
+        assert stats.memory_accesses == 1
+        assert stats.memory_misses == 1

@@ -1,0 +1,52 @@
+"""Register frames and presence bits."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.registers import RegisterFrame
+
+
+class TestPresenceBits:
+    def test_registers_start_valid_zero(self):
+        frame = RegisterFrame(0)
+        assert frame.is_valid(7)
+        assert frame.read(7) == 0
+
+    def test_invalidate_then_write(self):
+        frame = RegisterFrame(0)
+        frame.invalidate(3)
+        assert not frame.is_valid(3)
+        frame.write(3, 42)
+        assert frame.is_valid(3)
+        assert frame.read(3) == 42
+
+    def test_read_invalid_raises(self):
+        frame = RegisterFrame(0)
+        frame.invalidate(1)
+        with pytest.raises(SimulationError):
+            frame.read(1)
+
+    def test_peek_ignores_presence(self):
+        frame = RegisterFrame(0)
+        frame.write(1, 9)
+        frame.invalidate(1)
+        assert frame.peek(1) == 9
+
+    def test_force_sets_valid(self):
+        frame = RegisterFrame(0)
+        frame.invalidate(2)
+        frame.force(2, 5)
+        assert frame.is_valid(2) and frame.read(2) == 5
+
+    def test_invalid_registers_listing(self):
+        frame = RegisterFrame(0)
+        frame.invalidate(5)
+        frame.invalidate(2)
+        assert frame.invalid_registers() == [2, 5]
+
+    def test_used_registers(self):
+        frame = RegisterFrame(1)
+        frame.write(0, 1)
+        frame.write(4, 2)
+        assert frame.used_registers() == [0, 4]
+        assert len(frame) == 2

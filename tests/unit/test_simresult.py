@@ -1,0 +1,75 @@
+"""SimResult helpers and statistics plumbing."""
+
+from repro import baseline, compile_program, run_program
+from repro.isa.operations import UnitClass
+
+SOURCE = """
+(program
+  (global A 4)
+  (global flag 1 :int :empty)
+  (kernel child ((x :float))
+    (aset! A 3 x)
+    (aset-ef! flag 0 1))
+  (main
+    (aset! A 0 1.5)
+    (fork (child 2.5))
+    (sync (aref-ff flag 0))))
+"""
+
+
+def run():
+    config = baseline()
+    compiled = compile_program(SOURCE, config, mode="coupled")
+    return run_program(compiled.program, config)
+
+
+class TestSimResult:
+    def test_read_symbol(self):
+        result = run()
+        values = result.read_symbol("A")
+        assert values[0] == 1.5 and values[3] == 2.5
+
+    def test_symbol_presence(self):
+        result = run()
+        assert result.symbol_presence("flag") == [True]
+        assert all(result.symbol_presence("A"))
+
+    def test_thread_stats_rows(self):
+        result = run()
+        rows = result.thread_stats()
+        assert len(rows) == 2
+        by_name = {row["name"]: row for row in rows}
+        assert "main" in by_name
+        child_row = next(r for r in rows if r["name"] != "main")
+        assert child_row["spawn"] > 0
+        assert child_row["finish"] >= child_row["spawn"]
+        assert child_row["operations"] > 0
+
+    def test_cycles_property(self):
+        result = run()
+        assert result.cycles == result.stats.cycles > 0
+
+
+class TestStats:
+    def test_utilization_table_covers_all_kinds(self):
+        result = run()
+        table = result.stats.utilization_table()
+        assert set(table) == set(UnitClass)
+        assert all(0.0 <= v <= 4.0 for v in table.values())
+
+    def test_summary_keys(self):
+        summary = run().stats.summary()
+        for key in ("cycles", "operations", "fpu_util", "threads",
+                    "memory_accesses", "opcache_misses"):
+            assert key in summary
+
+    def test_str_renders(self):
+        text = str(run().stats)
+        assert "cycles=" in text and "threads=2" in text
+
+    def test_operation_totals_consistent(self):
+        stats = run().stats
+        assert stats.total_operations == \
+            sum(stats.issued_by_kind.values()) == \
+            sum(stats.issued_by_unit.values()) == \
+            sum(stats.issued_by_thread.values())

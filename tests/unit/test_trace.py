@@ -1,0 +1,87 @@
+"""Trace recording and timeline rendering."""
+
+from repro import compile_program
+from repro.machine import baseline
+from repro.sim import Node
+from repro.sim.trace import (TraceRecorder, render_timeline,
+                             utilization_profile)
+
+SOURCE = """
+(program
+  (const N 4)
+  (global A N)
+  (global done N :int :empty)
+  (kernel work (i)
+    (aset! A i (* (float i) 2.0))
+    (aset-ef! done i 1))
+  (main
+    (forall (i 0 N) (work i))
+    (for (i 0 N)
+      (sync (aref-ff done i)))))
+"""
+
+
+def traced_run():
+    config = baseline()
+    compiled = compile_program(SOURCE, config, mode="coupled")
+    recorder = TraceRecorder()
+    node = Node(config, observer=recorder)
+    result = node.run(compiled.program)
+    return recorder, config, result
+
+
+class TestRecorder:
+    def test_records_issues_for_all_threads(self):
+        recorder, __, result = traced_run()
+        tids = {e.thread for e in recorder.issues}
+        assert tids == set(range(result.stats.threads_spawned))
+
+    def test_issue_totals_match_stats(self):
+        recorder, __, result = traced_run()
+        assert len(recorder.issues) == result.stats.total_operations
+
+    def test_spawns_and_halts(self):
+        recorder, __, result = traced_run()
+        assert set(recorder.spawns) == set(recorder.halts)
+        for tid, (spawn_cycle, __) in recorder.spawns.items():
+            assert recorder.halts[tid] >= spawn_cycle
+
+    def test_unit_occupancy_single_issue_per_cycle(self):
+        recorder, __, __ = traced_run()
+        for unit, cycles in recorder.unit_occupancy().items():
+            assert len(cycles) == len(set(cycles))
+
+    def test_limit_bounds_memory(self):
+        recorder = TraceRecorder(limit=10)
+
+        class FakeThread:
+            tid = 0
+
+        class FakeOp:
+            name = "iadd"
+
+        for cycle in range(50):
+            recorder("issue", cycle=cycle, unit="c0.iu0",
+                     thread=FakeThread(), op=FakeOp())
+        assert len(recorder.issues) <= 15
+
+
+class TestRendering:
+    def test_timeline_contains_units_and_threads(self):
+        recorder, config, __ = traced_run()
+        text = render_timeline(recorder, config, last=40)
+        assert "c0.iu0" in text and "c4.bru0" in text
+        assert "thread 0 (main)" in text
+
+    def test_window_bounds(self):
+        recorder, config, __ = traced_run()
+        text = render_timeline(recorder, config, first=0, last=10)
+        assert "cycles 0..9" in text.splitlines()[0]
+
+    def test_utilization_profile(self):
+        recorder, __, result = traced_run()
+        series = utilization_profile(recorder, bucket=8)
+        assert series
+        total = sum(rate * 8 for __, rate in series)
+        # Total issues recovered up to the final partial bucket.
+        assert abs(total - result.stats.total_operations) < 16
