@@ -26,11 +26,13 @@ Quickstart::
 """
 
 from .errors import (AsmError, CompileError, ConfigError, DeadlockError,
-                     InterpError, ReproError, SimulationError)
+                     FaultConfigError, InterpError, ReproError,
+                     SimulationError, WatchdogError)
 from .machine import (MachineConfig, baseline, mem1, mem2, min_memory,
                       single_cluster, unit_mix)
 from .machine.interconnect import CommScheme
-from .sim import Node, SimResult, run_program
+from .sim import (FaultEvent, FaultInjector, FaultPlan, Node, SimResult,
+                  run_program)
 from .compiler import MODES, CompiledProgram, compile_program
 from .compiler.interp import interpret
 
@@ -38,9 +40,11 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AsmError", "CompileError", "ConfigError", "DeadlockError",
-    "InterpError", "ReproError", "SimulationError",
+    "FaultConfigError", "InterpError", "ReproError", "SimulationError",
+    "WatchdogError",
     "MachineConfig", "baseline", "mem1", "mem2", "min_memory",
     "single_cluster", "unit_mix", "CommScheme",
+    "FaultEvent", "FaultInjector", "FaultPlan",
     "Node", "SimResult", "run_program",
     "MODES", "CompiledProgram", "compile_program", "interpret",
     "__version__",

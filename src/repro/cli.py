@@ -19,7 +19,7 @@ from .compiler.schedule.modes import MODES
 from .isa import asmtext
 from .machine import MEMORY_MODELS, baseline
 from .machine.interconnect import CommScheme
-from .sim import Node
+from .sim import FaultPlan, Node
 from .sim.trace import TraceRecorder, render_timeline
 
 
@@ -31,6 +31,8 @@ def _build_config(args):
         config = config.with_memory(MEMORY_MODELS[args.memory]())
     if getattr(args, "seed", None) is not None:
         config = config.with_seed(args.seed)
+    if getattr(args, "faults", None):
+        config = config.with_faults(FaultPlan.from_file(args.faults))
     return config
 
 
@@ -87,7 +89,8 @@ def cmd_run(args, out):
     recorder = TraceRecorder() if args.trace else None
     node = Node(config, observer=recorder)
     result = node.run(program, overrides=overrides,
-                      max_cycles=args.max_cycles)
+                      max_cycles=args.max_cycles,
+                      watchdog_cycles=args.watchdog_cycles)
     out.write("cycles: %d\n" % result.cycles)
     out.write("stats:  %s\n" % result.stats)
     for symbol in (args.print or sorted(program.data.symbols)):
@@ -151,6 +154,14 @@ def main(argv=None, out=None):
     run_parser.add_argument("--window", type=int, default=64,
                             help="timeline window in cycles")
     run_parser.add_argument("--max-cycles", type=int, default=5_000_000)
+    run_parser.add_argument("--faults", metavar="PLAN.json",
+                            help="replay a fault-injection plan "
+                                 "(see repro.sim.faults)")
+    run_parser.add_argument("--watchdog-cycles", type=int, default=100_000,
+                            metavar="K",
+                            help="raise WatchdogError after K cycles "
+                                 "without forward progress "
+                                 "(default 100000)")
     run_parser.set_defaults(func=cmd_run)
 
     modes_parser = sub.add_parser("modes", help="list machine modes")

@@ -15,6 +15,10 @@ class ConfigError(ReproError):
     """An invalid machine configuration was constructed or requested."""
 
 
+class FaultConfigError(ConfigError):
+    """An ill-formed fault-injection plan or event."""
+
+
 class AsmError(ReproError):
     """Malformed assembly text or an ill-formed in-memory program."""
 
@@ -34,7 +38,36 @@ class SimulationError(ReproError):
 
 
 class DeadlockError(SimulationError):
-    """No thread can make progress and nothing is in flight."""
+    """No thread can make progress and nothing is in flight.
+
+    ``blocked`` holds (tid, name, word, reason) rows for every stuck
+    thread; ``wait_for`` holds the detected wait-for cycle as a list of
+    alternating thread/resource labels (empty when no cycle exists,
+    e.g. a dangling wait on an address nothing will ever fill).
+    """
+
+    def __init__(self, message, blocked=None, wait_for=None):
+        super().__init__(message)
+        self.blocked = list(blocked or ())
+        self.wait_for = list(wait_for or ())
+
+
+class WatchdogError(SimulationError):
+    """The simulator ran out of its cycle budget or made no forward
+    progress (livelock) for the configured watchdog window.
+
+    ``cycle`` is where the run was cut, ``last_progress_cycle`` the
+    last cycle on which any operation issued, completed, or wrote back,
+    and ``blocked`` holds (tid, name, word, reason) rows describing
+    why each live thread cannot proceed.
+    """
+
+    def __init__(self, message, cycle=None, last_progress_cycle=None,
+                 blocked=None):
+        super().__init__(message)
+        self.cycle = cycle
+        self.last_progress_cycle = last_progress_cycle
+        self.blocked = list(blocked or ())
 
 
 class InterpError(ReproError):

@@ -2,18 +2,20 @@
 
 Targets: table2, figure4, figure5, table3, figure6, figure7, figure8,
 all.  Each prints the regenerated artifact next to the paper's
-published values.
+published values.  The extra ``resilience`` target (not part of
+``all``) sweeps performance under injected unit faults.
 """
 
 import argparse
 import sys
 import time
 
-from . import figure5, figure6, figure7, figure8, table2, table3
+from . import (figure5, figure6, figure7, figure8, resilience, table2,
+               table3)
 from .runner import Harness
 
 TARGETS = ("table2", "figure4", "figure5", "table3", "figure6",
-           "figure7", "figure8", "all")
+           "figure7", "figure8", "resilience", "all")
 
 
 def _emit(out, text):
@@ -30,6 +32,9 @@ def main(argv=None, out=None):
                         help="input-data seed (default 1)")
     parser.add_argument("--no-check", action="store_true",
                         help="skip result validation against references")
+    parser.add_argument("--quick", action="store_true",
+                        help="resilience only: one benchmark, two fault "
+                             "rates (CI smoke run)")
     args = parser.parse_args(argv)
     out = out or sys.stdout
     harness = Harness(seed=args.seed, check=not args.no_check)
@@ -51,6 +56,13 @@ def main(argv=None, out=None):
         _emit(out, figure7.render(figure7.run(harness)))
     if want("figure8"):
         _emit(out, figure8.render(figure8.run(harness)))
+    if args.target == "resilience":
+        if args.quick:
+            cells = resilience.run(harness, rates=resilience.QUICK_RATES,
+                                   benchmarks=("matrix",))
+        else:
+            cells = resilience.run(harness)
+        _emit(out, resilience.render(cells))
     out.write("[%s done in %.1fs]\n" % (args.target,
                                         time.time() - started))
     return 0

@@ -1,0 +1,104 @@
+"""Resilience sweep: performance under degradation (a workload axis
+beyond the paper's Figures 5-8).
+
+A seeded :class:`~repro.sim.faults.FaultPlan` of ``unit_offline``
+windows is replayed against every mode of every benchmark at a range
+of fault rates; the same plan is shared by every mode of a benchmark
+so the modes face identical disturbances.  The arbiter re-routes the
+pending operations of an offline unit to surviving units of the same
+class — runtime rescheduling, the paper's thesis, exercised under
+faults the compile-time scheduler could not have anticipated.  Every
+run's numeric output is still validated against the Python reference,
+so the table demonstrates *correct* degraded execution, not just
+survival.
+
+::
+
+    python -m repro.experiments resilience [--quick]
+"""
+
+from ..machine import baseline
+from ..programs import get_benchmark
+from ..programs.suite import BENCHMARK_ORDER
+from ..sim.faults import FaultPlan
+from .report import format_grid
+from .runner import Harness
+
+MODES = ("sts", "tpe", "coupled")
+#: Expected unit-offline windows per 1000 cycles.
+RATES = (0.0, 1.0, 2.0, 4.0)
+QUICK_RATES = (0.0, 4.0)
+FAULT_SEED = 7
+
+
+def run(harness=None, config=None, rates=RATES, benchmarks=BENCHMARK_ORDER,
+        fault_seed=FAULT_SEED):
+    """Simulate every (benchmark, mode, rate) cell; returns a dict of
+    ``(benchmark, mode, rate) -> cycles``."""
+    harness = harness or Harness()
+    config = config or baseline()
+    cells = {}
+    for benchmark in benchmarks:
+        modes = [m for m in MODES
+                 if m in get_benchmark(benchmark).modes]
+        baselines = {mode: harness.run(benchmark, mode, config)
+                     for mode in modes}
+        # One plan horizon per benchmark (spanning its slowest mode)
+        # so every mode replays the *same* fault windows.
+        horizon = 2 * max(result.cycles for result in baselines.values())
+        for rate in rates:
+            plan = None
+            if rate > 0.0:
+                plan = FaultPlan.random(fault_seed, config, rate=rate,
+                                        horizon=horizon)
+            for mode in modes:
+                if plan is None:
+                    cells[(benchmark, mode, rate)] = \
+                        baselines[mode].cycles
+                    continue
+                result = harness.run(benchmark, mode,
+                                     config.with_faults(plan),
+                                     tag=(benchmark, mode, "faults",
+                                          rate, fault_seed, horizon))
+                cells[(benchmark, mode, rate)] = result.cycles
+    return cells
+
+
+def slowdown(cells, benchmark, mode, rate):
+    base = cells.get((benchmark, mode, 0.0))
+    faulted = cells.get((benchmark, mode, rate))
+    if not base or faulted is None:
+        return None
+    return faulted / base
+
+
+def render(cells):
+    benchmarks = sorted({key[0] for key in cells},
+                        key=BENCHMARK_ORDER.index)
+    rates = sorted({key[2] for key in cells})
+    sections = []
+    for benchmark in benchmarks:
+        modes = [m for m in MODES if (benchmark, m, rates[0]) in cells]
+        values = {}
+        for mode in modes:
+            for rate in rates:
+                ratio = slowdown(cells, benchmark, mode, rate)
+                values[(mode, "%g/kc" % rate)] = \
+                    "%d (%.2fx)" % (cells[(benchmark, mode, rate)], ratio)
+        sections.append(format_grid(
+            values, modes, ["%g/kc" % rate for rate in rates],
+            title="Resilience — %s (cycles under unit-offline faults, "
+                  "slowdown vs fault-free)" % benchmark))
+    top = max(rates)
+    summary = ["average slowdown at %g faults/kilocycle:" % top]
+    for mode in MODES:
+        ratios = [slowdown(cells, benchmark, mode, top)
+                  for benchmark in benchmarks
+                  if (benchmark, mode, top) in cells]
+        ratios = [ratio for ratio in ratios if ratio]
+        if ratios:
+            summary.append("  %-8s %.2fx" % (mode,
+                                             sum(ratios) / len(ratios)))
+    summary.append("(every cell is validated against the reference "
+                   "output: degraded, never wrong)")
+    return "\n\n".join(sections) + "\n" + "\n".join(summary)

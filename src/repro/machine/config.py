@@ -42,7 +42,8 @@ class MachineConfig:
 
     def __init__(self, clusters, interconnect=None, memory=None,
                  arbitration="priority", memory_size=65536, seed=12345,
-                 name="custom", op_cache=None, max_active_threads=None):
+                 name="custom", op_cache=None, max_active_threads=None,
+                 fault_plan=None):
         self.clusters = tuple(clusters)
         if isinstance(interconnect, (CommScheme, str)):
             interconnect = InterconnectSpec.from_scheme(interconnect)
@@ -59,8 +60,11 @@ class MachineConfig:
         if max_active_threads is not None and max_active_threads < 1:
             raise ConfigError("max_active_threads must be >= 1")
         self.max_active_threads = max_active_threads
+        self.fault_plan = fault_plan      # None = fault-free (the paper)
         self._build_tables()
         self._validate()
+        if fault_plan is not None:
+            fault_plan.validate_against(self)
 
     def _build_tables(self):
         self.units = []
@@ -125,26 +129,30 @@ class MachineConfig:
                              self.arbitration, self.memory_size, self.seed,
                              name="%s/%s" % (self.name, CommScheme(scheme)),
                              op_cache=self.op_cache,
-                             max_active_threads=self.max_active_threads)
+                             max_active_threads=self.max_active_threads,
+                             fault_plan=self.fault_plan)
 
     def with_memory(self, memory_spec):
         return MachineConfig(self.clusters, self.interconnect, memory_spec,
                              self.arbitration, self.memory_size, self.seed,
                              name="%s/%s" % (self.name, memory_spec.name),
                              op_cache=self.op_cache,
-                             max_active_threads=self.max_active_threads)
+                             max_active_threads=self.max_active_threads,
+                             fault_plan=self.fault_plan)
 
     def with_arbitration(self, policy):
         return MachineConfig(self.clusters, self.interconnect, self.memory,
                              policy, self.memory_size, self.seed,
                              name=self.name, op_cache=self.op_cache,
-                             max_active_threads=self.max_active_threads)
+                             max_active_threads=self.max_active_threads,
+                             fault_plan=self.fault_plan)
 
     def with_seed(self, seed):
         return MachineConfig(self.clusters, self.interconnect, self.memory,
                              self.arbitration, self.memory_size, seed,
                              name=self.name, op_cache=self.op_cache,
-                             max_active_threads=self.max_active_threads)
+                             max_active_threads=self.max_active_threads,
+                             fault_plan=self.fault_plan)
 
     def with_op_cache(self, op_cache_spec):
         """Replace the paper's perfect-instruction-cache assumption
@@ -152,7 +160,8 @@ class MachineConfig:
         return MachineConfig(self.clusters, self.interconnect, self.memory,
                              self.arbitration, self.memory_size, self.seed,
                              name=self.name, op_cache=op_cache_spec,
-                             max_active_threads=self.max_active_threads)
+                             max_active_threads=self.max_active_threads,
+                             fault_plan=self.fault_plan)
 
     def with_max_active_threads(self, limit):
         """Bound the hardware active set (paper Section 2: "hardware is
@@ -162,7 +171,20 @@ class MachineConfig:
         return MachineConfig(self.clusters, self.interconnect, self.memory,
                              self.arbitration, self.memory_size, self.seed,
                              name=self.name, op_cache=self.op_cache,
-                             max_active_threads=limit)
+                             max_active_threads=limit,
+                             fault_plan=self.fault_plan)
+
+    def with_faults(self, fault_plan):
+        """Attach a fault-injection plan (``repro.sim.faults.FaultPlan``)
+        to be replayed by every simulation of this configuration; None
+        restores the paper's fault-free machine.  The compiler is
+        unaffected — faults are a purely dynamic disturbance, which is
+        exactly what runtime arbitration is supposed to absorb."""
+        return MachineConfig(self.clusters, self.interconnect, self.memory,
+                             self.arbitration, self.memory_size, self.seed,
+                             name=self.name, op_cache=self.op_cache,
+                             max_active_threads=self.max_active_threads,
+                             fault_plan=fault_plan)
 
     def schedule_signature(self):
         """Hashable summary of everything the *compiler* depends on;

@@ -1,6 +1,7 @@
 """Functional cycle simulator for processor-coupled nodes."""
 
 from .arbitration import PriorityArbiter, RoundRobinArbiter, make_arbiter
+from .faults import FaultEvent, FaultInjector, FaultPlan
 from .function_unit import FunctionUnitState, WritebackEntry
 from .interconnect import WritebackNetwork
 from .loader import load_memory, validate_program
@@ -12,6 +13,7 @@ from .thread import ThreadContext
 
 __all__ = [
     "PriorityArbiter", "RoundRobinArbiter", "make_arbiter",
+    "FaultEvent", "FaultInjector", "FaultPlan",
     "FunctionUnitState", "WritebackEntry", "WritebackNetwork",
     "load_memory", "validate_program", "MemRequest", "MemorySystem",
     "Node", "SimResult", "run_program", "RegisterFrame", "Stats",

@@ -1,0 +1,321 @@
+"""Deterministic fault injection for the node simulator.
+
+The paper's thesis is that cycle-by-cycle runtime arbitration absorbs
+dynamic disturbances that a static schedule cannot.  This module makes
+those disturbances first class: a :class:`FaultPlan` is a seeded,
+fully explicit list of :class:`FaultEvent` windows, and a
+:class:`FaultInjector` answers the simulator's per-cycle questions
+about it.  Because the plan is data (not random draws made during the
+run), replaying the same plan on the same program and machine yields
+bit-identical cycle counts and statistics.
+
+Event kinds:
+
+* ``unit_offline``    — a function unit cannot issue during the window;
+  with rerouting enabled (the default) the arbiter sends its pending
+  operations to surviving units of the same class instead (graceful
+  degradation — runtime rescheduling under faults).
+* ``writeback_block`` — a unit's computed results cannot claim a
+  register-file port during the window and must retry the interconnect.
+* ``mem_delay``       — references to an address window pay extra
+  latency (a localized memory-latency spike).
+* ``bank_blackout``   — references to an address window cannot start
+  service until the window closes (a bank outage).
+* ``presence_stall``  — a synchronizing reference's presence-bit
+  update is deferred by ``extra`` cycles, delaying the wakeup of any
+  parked consumers.
+"""
+
+import bisect
+import json
+import random
+from dataclasses import dataclass
+
+from ..errors import FaultConfigError
+
+#: Recognized fault-event kinds.
+FAULT_KINDS = ("unit_offline", "writeback_block", "mem_delay",
+               "bank_blackout", "presence_stall")
+
+_UNIT_KINDS = ("unit_offline", "writeback_block")
+_MEMORY_KINDS = ("mem_delay", "bank_blackout", "presence_stall")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault window.
+
+    ``unit`` names the affected function unit (unit kinds only);
+    ``lo``/``hi`` bound the affected address range (memory kinds only,
+    ``hi=None`` meaning the whole memory); ``extra`` is the added
+    latency (``mem_delay``) or presence-bit deferral (``presence_stall``).
+    """
+
+    kind: str
+    start: int
+    duration: int
+    unit: str = None
+    lo: int = 0
+    hi: int = None
+    extra: int = 0
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise FaultConfigError("unknown fault kind %r (have: %s)"
+                                   % (self.kind, ", ".join(FAULT_KINDS)))
+        if self.start < 0 or self.duration < 1:
+            raise FaultConfigError(
+                "%s: start must be >= 0 and duration >= 1 (got %r, %r)"
+                % (self.kind, self.start, self.duration))
+        if self.kind in _UNIT_KINDS and not self.unit:
+            raise FaultConfigError("%s event needs a 'unit' id"
+                                   % self.kind)
+        if self.kind in ("mem_delay", "presence_stall") and self.extra < 1:
+            raise FaultConfigError("%s event needs 'extra' >= 1 cycles"
+                                   % self.kind)
+        if self.hi is not None and self.hi <= self.lo:
+            raise FaultConfigError(
+                "%s: empty address window [%d, %r)"
+                % (self.kind, self.lo, self.hi))
+
+    @property
+    def end(self):
+        return self.start + self.duration
+
+    def active(self, cycle):
+        return self.start <= cycle < self.end
+
+    def covers(self, addr):
+        return self.lo <= addr and (self.hi is None or addr < self.hi)
+
+    def to_dict(self):
+        entry = {"kind": self.kind, "start": self.start,
+                 "duration": self.duration}
+        if self.unit is not None:
+            entry["unit"] = self.unit
+        if self.lo:
+            entry["lo"] = self.lo
+        if self.hi is not None:
+            entry["hi"] = self.hi
+        if self.extra:
+            entry["extra"] = self.extra
+        return entry
+
+    @classmethod
+    def from_dict(cls, entry):
+        if not isinstance(entry, dict):
+            raise FaultConfigError("fault event must be an object, got %r"
+                                   % (entry,))
+        known = {"kind", "start", "duration", "unit", "lo", "hi", "extra"}
+        unknown = set(entry) - known
+        if unknown:
+            raise FaultConfigError("unknown fault event fields: %s"
+                                   % ", ".join(sorted(unknown)))
+        try:
+            return cls(**entry)
+        except TypeError as exc:
+            raise FaultConfigError("bad fault event %r: %s" % (entry, exc))
+
+
+class FaultPlan:
+    """An immutable, replayable schedule of fault events.
+
+    ``reroute`` enables graceful degradation: pending operations of an
+    offline unit are re-issued on surviving units of the same class.
+    """
+
+    def __init__(self, events=(), reroute=True, label="faults"):
+        self.events = tuple(events)
+        for event in self.events:
+            if not isinstance(event, FaultEvent):
+                raise FaultConfigError("plan events must be FaultEvent, "
+                                       "got %r" % (event,))
+        self.reroute = bool(reroute)
+        self.label = label
+
+    def __bool__(self):
+        return bool(self.events)
+
+    def __len__(self):
+        return len(self.events)
+
+    # -- serialization --------------------------------------------------
+
+    def to_dict(self):
+        return {"label": self.label, "reroute": self.reroute,
+                "events": [event.to_dict() for event in self.events]}
+
+    def to_json(self, indent=2):
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data):
+        if not isinstance(data, dict):
+            raise FaultConfigError("fault plan must be an object with an "
+                                   "'events' list, got %r" % (data,))
+        unknown = set(data) - {"label", "reroute", "events"}
+        if unknown:
+            raise FaultConfigError("unknown fault plan fields: %s"
+                                   % ", ".join(sorted(unknown)))
+        events = data.get("events", ())
+        if not isinstance(events, (list, tuple)):
+            raise FaultConfigError("'events' must be a list")
+        return cls(events=[FaultEvent.from_dict(e) for e in events],
+                   reroute=data.get("reroute", True),
+                   label=data.get("label", "faults"))
+
+    @classmethod
+    def from_json(cls, text):
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise FaultConfigError("fault plan is not valid JSON: %s" % exc)
+        return cls.from_dict(data)
+
+    @classmethod
+    def from_file(cls, path):
+        with open(path) as handle:
+            return cls.from_json(handle.read())
+
+    # -- validation -----------------------------------------------------
+
+    def validate_against(self, config):
+        """Check every event against a machine configuration."""
+        for event in self.events:
+            if event.unit is not None \
+                    and event.unit not in config.unit_by_id:
+                raise FaultConfigError(
+                    "fault event names unit %s absent from machine %s "
+                    "(have: %s)"
+                    % (event.unit, config.name,
+                       ", ".join(sorted(config.unit_by_id))))
+            if event.kind in _MEMORY_KINDS:
+                hi = event.hi if event.hi is not None else config.memory_size
+                if not (0 <= event.lo < hi <= config.memory_size):
+                    raise FaultConfigError(
+                        "fault window [%d, %d) outside memory [0, %d)"
+                        % (event.lo, hi, config.memory_size))
+
+    # -- generation -----------------------------------------------------
+
+    @classmethod
+    def random(cls, seed, config, rate=1.0, horizon=10_000,
+               duration_range=(50, 400), reroute=True):
+        """A seeded random plan of ``unit_offline`` windows.
+
+        ``rate`` is the expected number of fault windows per 1000
+        cycles of ``horizon``; targets are drawn among units with at
+        least one surviving sibling of the same class, so rerouting is
+        always possible.  The same (seed, config, rate, horizon) always
+        yields the same plan.
+        """
+        rng = random.Random(seed)
+        by_kind = {}
+        for slot in config.units:
+            by_kind.setdefault(slot.kind, []).append(slot.uid)
+        candidates = sorted(uid for uids in by_kind.values()
+                            if len(uids) > 1 for uid in uids)
+        events = []
+        if candidates:
+            count = int(round(rate * horizon / 1000.0))
+            for __ in range(count):
+                events.append(FaultEvent(
+                    kind="unit_offline",
+                    unit=rng.choice(candidates),
+                    start=rng.randrange(horizon),
+                    duration=rng.randint(*duration_range)))
+        events.sort(key=lambda e: (e.start, e.unit))
+        return cls(events=events, reroute=reroute,
+                   label="random(seed=%s, rate=%s)" % (seed, rate))
+
+
+class FaultInjector:
+    """Per-run oracle the simulator consults each cycle.
+
+    Pure function of (plan, cycle, unit/address): it draws no random
+    numbers at run time, so injection never perturbs the memory
+    system's latency stream beyond the faults themselves.
+    """
+
+    def __init__(self, plan, stats):
+        self.plan = plan
+        self.stats = stats
+        offline = {}
+        blocked = {}
+        self._mem_delays = []
+        self._blackouts = []
+        self._presence = []
+        for event in plan.events:
+            if event.kind == "unit_offline":
+                offline.setdefault(event.unit, []).append(event)
+            elif event.kind == "writeback_block":
+                blocked.setdefault(event.unit, []).append(event)
+            elif event.kind == "mem_delay":
+                self._mem_delays.append(event)
+            elif event.kind == "bank_blackout":
+                self._blackouts.append(event)
+            elif event.kind == "presence_stall":
+                self._presence.append(event)
+        # Unit queries run once per pending operation per cycle, so the
+        # per-unit windows are merged into sorted disjoint intervals and
+        # answered by binary search.
+        self._offline = {uid: _merge_windows(events)
+                         for uid, events in offline.items()}
+        self._blocked = {uid: _merge_windows(events)
+                         for uid, events in blocked.items()}
+
+    @property
+    def reroute(self):
+        return self.plan.reroute
+
+    def unit_offline(self, uid, cycle):
+        return _in_windows(self._offline.get(uid), cycle)
+
+    def writeback_blocked(self, uid, cycle):
+        return _in_windows(self._blocked.get(uid), cycle)
+
+    def memory_stall(self, addr, cycle):
+        """Extra service latency for a reference starting now: latency
+        spikes plus time until every covering blackout window closes."""
+        stall = 0
+        for event in self._mem_delays:
+            if event.active(cycle) and event.covers(addr):
+                stall += event.extra
+        for event in self._blackouts:
+            if event.active(cycle) and event.covers(addr):
+                stall = max(stall, event.end - cycle)
+                self.stats.fault_blackout_stalls += 1
+        if stall:
+            self.stats.fault_mem_stall_cycles += stall
+        return stall
+
+    def presence_delay(self, addr, cycle):
+        """Cycles by which a presence-bit update at ``addr`` is deferred."""
+        delay = 0
+        for event in self._presence:
+            if event.active(cycle) and event.covers(addr):
+                delay = max(delay, event.extra)
+        if delay:
+            self.stats.fault_presence_stalls += 1
+        return delay
+
+
+def _merge_windows(events):
+    """Merge event windows into parallel sorted (starts, ends) lists of
+    disjoint half-open intervals."""
+    starts, ends = [], []
+    for span in sorted((event.start, event.end) for event in events):
+        if ends and span[0] <= ends[-1]:
+            ends[-1] = max(ends[-1], span[1])
+        else:
+            starts.append(span[0])
+            ends.append(span[1])
+    return starts, ends
+
+
+def _in_windows(windows, cycle):
+    if not windows:
+        return False
+    starts, ends = windows
+    index = bisect.bisect_right(starts, cycle) - 1
+    return index >= 0 and cycle < ends[index]

@@ -45,17 +45,20 @@ class MemRequest:
 class MemorySystem:
     """The node's interleaved, presence-bit-synchronized memory."""
 
-    def __init__(self, spec, rng, stats, size=65536):
+    def __init__(self, spec, rng, stats, size=65536, injector=None):
         self.spec = spec
         self.rng = rng
         self.stats = stats
         self.size = size
+        self.injector = injector      # optional FaultInjector
         self._values = {}
         self._empty = set()
         self._busy = set()            # addresses with a reference in service
         self._queues = {}             # addr -> deque of waiting requests
         self._parked = {}             # addr -> list of precondition waiters
         self._in_flight = []          # heap of (ready, seq, request)
+        self._deferred_bits = []      # heap of (ready, seq, addr, post)
+        self._last_touch = {}         # addr -> tid of last completed access
         self._seq = 0
         self._arrivals = 0
 
@@ -116,26 +119,39 @@ class MemorySystem:
         self.stats.memory_accesses += 1
         if latency > self.spec.hit_latency:
             self.stats.memory_misses += 1
+        if self.injector is not None:
+            latency += self.injector.memory_stall(request.addr, cycle)
         self._seq += 1
         heapq.heappush(self._in_flight,
                        (cycle + latency - 1, self._seq, request))
 
-    def _apply(self, request):
+    def _apply(self, request, cycle):
         """Perform the access and apply the Table 1 postcondition.
-        Returns True when the presence bit changed."""
+        Returns True when the presence bit changed.  A presence_stall
+        fault defers the bit update (the access itself completes)."""
         addr = request.addr
         was_full = self.is_full(addr)
         if request.op.spec.is_load:
             request.value = self._values.get(addr, 0)
         else:
             self._values[addr] = request.store_value
+        self._last_touch[addr] = request.thread.tid
         post = request.op.spec.postcondition
+        if post not in (POST_FULL, POST_EMPTY):
+            if post != POST_KEEP:
+                raise AssertionError("unknown postcondition %r" % post)
+            return False
+        if self.injector is not None:
+            delay = self.injector.presence_delay(addr, cycle)
+            if delay:
+                self._seq += 1
+                heapq.heappush(self._deferred_bits,
+                               (cycle + delay, self._seq, addr, post))
+                return False
         if post == POST_FULL:
             self._empty.discard(addr)
-        elif post == POST_EMPTY:
+        else:
             self._empty.add(addr)
-        elif post != POST_KEEP:
-            raise AssertionError("unknown postcondition %r" % post)
         return self.is_full(addr) != was_full
 
     def tick(self, cycle):
@@ -143,9 +159,18 @@ class MemorySystem:
         (loads carry their value)."""
         completed = []
         changed_addrs = []
+        while self._deferred_bits and self._deferred_bits[0][0] <= cycle:
+            __, __, addr, post = heapq.heappop(self._deferred_bits)
+            was_full = self.is_full(addr)
+            if post == POST_FULL:
+                self._empty.discard(addr)
+            else:
+                self._empty.add(addr)
+            if self.is_full(addr) != was_full:
+                changed_addrs.append(addr)
         while self._in_flight and self._in_flight[0][0] <= cycle:
             __, __, request = heapq.heappop(self._in_flight)
-            if self._apply(request):
+            if self._apply(request, cycle):
                 changed_addrs.append(request.addr)
             self._busy.discard(request.addr)
             completed.append(request)
@@ -172,12 +197,13 @@ class MemorySystem:
     # -- state inspection -------------------------------------------------
 
     def idle(self):
-        """True when nothing is in flight, queued, or parked."""
+        """True when nothing is in flight, queued, parked, or deferred."""
         return (not self._in_flight and not self._parked
+                and not self._deferred_bits
                 and not any(self._queues.values()))
 
     def has_in_flight(self):
-        return bool(self._in_flight)
+        return bool(self._in_flight) or bool(self._deferred_bits)
 
     def parked_summary(self):
         """Describe parked references (for deadlock diagnostics)."""
@@ -188,6 +214,22 @@ class MemorySystem:
                             for w in waiters)
             lines.append("addr %d (%s): %s" % (addr, state, ops))
         return lines
+
+    def wait_edges(self):
+        """Wait-for edges for deadlock diagnostics: one
+        ``(waiter_tid, addr, state, wanted, owner_tid)`` tuple per
+        parked reference, where ``owner_tid`` is the thread whose
+        completed access last touched the address (None if untouched) —
+        the thread that put the location into its unsatisfying state."""
+        edges = []
+        for addr, waiters in sorted(self._parked.items()):
+            state = "full" if self.is_full(addr) else "empty"
+            for request in waiters:
+                wanted = "full" if request.op.spec.precondition == PRE_FULL \
+                    else "empty"
+                edges.append((request.thread.tid, addr, state, wanted,
+                              self._last_touch.get(addr)))
+        return edges
 
     def read_range(self, base, size):
         return [self._values.get(addr, 0)

@@ -16,13 +16,15 @@ and operations exactly under the stated rules —
   with Table 1 synchronization and statistical latency.
 """
 
+import copy
 import random
 from collections import deque
 from dataclasses import dataclass
 
-from ..errors import DeadlockError, SimulationError
+from ..errors import DeadlockError, SimulationError, WatchdogError
 from ..isa.operations import UnitClass
 from .arbitration import make_arbiter
+from .faults import FaultInjector
 from .function_unit import FunctionUnitState, WritebackEntry
 from .interconnect import WritebackNetwork
 from .loader import load_memory, validate_program
@@ -87,14 +89,22 @@ class Node:
         self.unit_order = [slot.uid for slot in config.units]
         self.network = WritebackNetwork(config.interconnect,
                                         config.n_clusters, self.stats)
+        self.injector = None
+        if getattr(config, "fault_plan", None) is not None:
+            self.injector = FaultInjector(config.fault_plan, self.stats)
         self.memory = MemorySystem(config.memory, self.rng, self.stats,
-                                   size=config.memory_size)
+                                   size=config.memory_size,
+                                   injector=self.injector)
         self.arbiter = make_arbiter(config.arbitration)
         self.active = []
         self.finished = []
         self._spawn_queue = deque()
         self._next_tid = 0
         self.cycle = 0
+        self._frozen = 0
+        self._last_progress = 0
+        self._fault_stalled = False
+        self._program = None
 
     # -- thread management ----------------------------------------------
 
@@ -177,6 +187,12 @@ class Node:
         wrote = 0
         for uid in self.unit_order:
             unit = self.units[uid]
+            if self.injector is not None and unit.writebacks \
+                    and self.injector.writeback_blocked(uid, self.cycle):
+                # Fault: the unit's results cannot claim a port this
+                # cycle; they stay buffered and retry the interconnect.
+                self.stats.fault_writeback_stalls += len(unit.writebacks)
+                continue
             remaining = []
             for entry in unit.writebacks:
                 kept = []
@@ -218,23 +234,53 @@ class Node:
         """Phase 5: per-unit arbitration and operation issue."""
         issued = 0
         claimed = set()
+        self._fault_stalled = False
         for thread in self.arbiter.order(self.active, self.cycle):
             for uid, op in list(thread.pending.items()):
                 if not thread.sources_ready(op):
                     continue
                 unit = self.units[uid]
+                if self.injector is not None \
+                        and self.injector.unit_offline(uid, self.cycle):
+                    unit = self._reroute_target(unit, claimed)
+                    if unit is None:
+                        # The op waits for the fault window to close (or
+                        # for a surviving unit to free up) — that is
+                        # pending work, not a deadlock; the watchdog
+                        # covers a window that never closes.
+                        self.stats.fault_issue_stalls += 1
+                        self._fault_stalled = True
+                        continue
                 if unit.opcache is not None \
                         and not unit.opcache.ready(thread, self.cycle):
                     continue            # operation-cache fill in progress
-                if uid in claimed:
+                if unit.uid in claimed:
                     self.stats.arbitration_losses += 1
                     continue
-                self._issue_one(unit, thread, op)
-                claimed.add(uid)
+                if unit.uid != uid:
+                    self.stats.fault_reroutes += 1
+                self._issue_one(unit, thread, op, home_uid=uid)
+                claimed.add(unit.uid)
                 issued += 1
         return issued
 
-    def _issue_one(self, unit, thread, op):
+    def _reroute_target(self, unit, claimed):
+        """Graceful degradation: pick a surviving unit of the same
+        class for an operation whose scheduled unit is offline.  This
+        is runtime rescheduling — the arbiter repairing a static
+        schedule the compiler could not have known would break."""
+        if not self.injector.reroute:
+            return None
+        for uid in self.unit_order:
+            candidate = self.units[uid]
+            if candidate.kind is not unit.kind or uid in claimed:
+                continue
+            if self.injector.unit_offline(uid, self.cycle):
+                continue
+            return candidate
+        return None
+
+    def _issue_one(self, unit, thread, op, home_uid=None):
         values = thread.capture_sources(op)
         spec = op.spec
         if spec.is_memory:
@@ -257,7 +303,7 @@ class Node:
                     % (thread.name, op.name, tuple(values), exc, self.cycle))
         for dest in op.dests:
             thread.frame(dest.cluster).invalidate(dest.index)
-        del thread.pending[unit.uid]
+        del thread.pending[home_uid if home_uid is not None else unit.uid]
         unit.push(self.cycle, thread, op, payload)
         self.stats.record_issue(unit.slot, thread.tid)
         if self.observer is not None:
@@ -278,12 +324,32 @@ class Node:
 
     # -- main loop ---------------------------------------------------------
 
-    def run(self, program, overrides=None, max_cycles=5_000_000):
+    def run(self, program, overrides=None, max_cycles=5_000_000,
+            watchdog_cycles=None, pause_at=None):
+        """Simulate ``program`` to completion and return a SimResult.
+
+        ``watchdog_cycles`` (optional) raises :class:`WatchdogError`
+        when no operation issues, completes, or writes back for that
+        many consecutive cycles while work is nominally in flight
+        (livelock).  ``pause_at`` (optional) suspends the run once the
+        cycle counter reaches it and returns None; the node can then be
+        snapshot() and later resume()d.
+        """
         validate_program(program, self.config)
         self._program = program
         load_memory(self.memory, program, overrides)
         self.spawn(program.thread(program.main))
-        frozen = 0
+        return self._loop(max_cycles, watchdog_cycles, pause_at)
+
+    def resume(self, max_cycles=5_000_000, watchdog_cycles=None,
+               pause_at=None):
+        """Continue a paused or restored run; same contract as run()."""
+        if self._program is None:
+            raise SimulationError("resume() before run(): no program "
+                                  "loaded")
+        return self._loop(max_cycles, watchdog_cycles, pause_at)
+
+    def _loop(self, max_cycles, watchdog_cycles=None, pause_at=None):
         while True:
             completed = self._complete_units()
             completed += self._complete_memory()
@@ -292,16 +358,19 @@ class Node:
             issued = self._issue()
             self.cycle += 1
             self.stats.cycles = self.cycle
+            if issued or completed or wrote:
+                self._last_progress = self.cycle
             if not self.active and not self._spawn_queue \
                     and self.memory.idle() \
                     and not any(self.units[uid].busy()
                                 for uid in self.unit_order):
                 break
             if self.cycle >= max_cycles:
-                raise SimulationError(
+                raise self._watchdog_error(
                     "exceeded %d cycles (program %s on %s)"
-                    % (max_cycles, program.main, self.config.name))
-            in_flight = (self.memory.has_in_flight()
+                    % (max_cycles, self._program.main, self.config.name))
+            in_flight = (self._fault_stalled
+                         or self.memory.has_in_flight()
                          or any(self.units[uid].busy()
                                 for uid in self.unit_order)
                          or any(self.units[uid].opcache is not None
@@ -309,29 +378,160 @@ class Node:
                                 for uid in self.unit_order))
             if issued == 0 and completed == 0 and wrote == 0 \
                     and not in_flight:
-                frozen += 1
-                if frozen >= 2:
+                self._frozen += 1
+                if self._frozen >= 2:
                     self._raise_deadlock()
             else:
-                frozen = 0
-        return SimResult(self.stats, self.memory, program, self.config,
-                         self.finished + self.active)
+                self._frozen = 0
+            if watchdog_cycles is not None \
+                    and self.cycle - self._last_progress >= watchdog_cycles:
+                raise self._watchdog_error(
+                    "livelock: no operation issued, completed, or wrote "
+                    "back for %d cycles (program %s on %s)"
+                    % (watchdog_cycles, self._program.main,
+                       self.config.name))
+            if pause_at is not None and self.cycle >= pause_at:
+                return None
+        return SimResult(self.stats, self.memory, self._program,
+                         self.config, self.finished + self.active)
+
+    # -- diagnostics -------------------------------------------------------
+
+    def _blocked_report(self):
+        """(tid, name, word, reason) for every thread that exists but
+        cannot currently run to completion."""
+        return [(thread.tid, thread.name, thread.ip,
+                 thread.stall_reason()) for thread in self.active]
+
+    def _watchdog_error(self, headline):
+        lines = [headline,
+                 "cut at cycle %d; last forward progress at cycle %d"
+                 % (self.cycle, self._last_progress)]
+        blocked = self._blocked_report()
+        for tid, name, word, reason in blocked:
+            lines.append("thread %d (%s) at word %d: %s"
+                         % (tid, name, word, reason))
+        if self._spawn_queue:
+            lines.append("%d forked threads waiting for an active-set "
+                         "slot" % len(self._spawn_queue))
+        parked = self.memory.parked_summary()
+        if parked:
+            lines.append("parked memory references:")
+            lines.extend("  " + line for line in parked)
+        return WatchdogError("\n".join(lines), cycle=self.cycle,
+                             last_progress_cycle=self._last_progress,
+                             blocked=blocked)
 
     def _raise_deadlock(self):
         lines = ["deadlock at cycle %d" % self.cycle]
         if self._spawn_queue:
             lines.append("%d forked threads waiting for an active-set "
                          "slot" % len(self._spawn_queue))
-        for thread in self.active:
+        blocked = self._blocked_report()
+        for tid, name, word, reason in blocked:
             lines.append("thread %d (%s) at word %d: %s"
-                         % (thread.tid, thread.name, thread.ip,
-                            thread.stall_reason()))
+                         % (tid, name, word, reason))
         lines.extend(self.memory.parked_summary())
-        raise DeadlockError("\n".join(lines))
+        wait_for = self._wait_for_cycle()
+        if wait_for:
+            lines.append("wait-for cycle: " + " -> ".join(wait_for))
+        raise DeadlockError("\n".join(lines), blocked=blocked,
+                            wait_for=wait_for)
+
+    def _wait_for_cycle(self):
+        """Detect a cycle in the wait-for graph built from parked
+        memory references: thread -> address it waits on -> thread
+        whose access left the address in its unsatisfying state.
+        Returns the cycle as alternating thread/address labels, or []
+        when the deadlock is a dangling wait with no cycle."""
+        names = {thread.tid: thread.name
+                 for thread in self.active + self.finished}
+        edges = {}                    # waiter tid -> [(addr label, owner)]
+        for tid, addr, state, wanted, owner in self.memory.wait_edges():
+            if owner is None or owner == tid:
+                continue
+            label = "addr %d (%s, wants %s)" % (addr, state, wanted)
+            edges.setdefault(tid, []).append((label, owner))
+        for start in sorted(edges):
+            path, hops = [start], []
+            seen = {start}
+            tid = start
+            while tid in edges:
+                label, owner = edges[tid][0]
+                hops.append(label)
+                if owner in seen:
+                    # Close the loop at the repeated thread.
+                    cut = path.index(owner)
+                    ring = path[cut:] + [owner]
+                    out = []
+                    for i, node_tid in enumerate(ring[:-1]):
+                        out.append("thread %d (%s)"
+                                   % (node_tid,
+                                      names.get(node_tid, "?")))
+                        out.append(hops[cut + i])
+                    out.append("thread %d (%s)"
+                               % (ring[-1], names.get(ring[-1], "?")))
+                    return out
+                path.append(owner)
+                seen.add(owner)
+                tid = owner
+        return []
+
+    # -- checkpoint / restore ---------------------------------------------
+
+    _SNAPSHOT_FIELDS = ("stats", "rng", "units", "network", "memory",
+                        "active", "finished", "_spawn_queue", "_next_tid",
+                        "cycle", "_frozen", "_last_progress", "_program")
+
+    def _snapshot_memo(self):
+        """Deepcopy memo pinning immutable/shared objects so snapshots
+        copy only the mutable simulation state."""
+        memo = {id(self.config): self.config}
+        for slot in self.config.units:
+            memo[id(slot)] = slot
+            memo[id(slot.spec)] = slot.spec
+        if self.observer is not None:
+            memo[id(self.observer)] = self.observer
+        return memo
+
+    def snapshot(self):
+        """A deep-copied, resumable checkpoint of the run.
+
+        Take it between run(pause_at=...) pauses (or before run); feed
+        it to :meth:`restore` to continue on a fresh node.  The copy
+        includes the RNG stream, so a restored run is bit-identical to
+        the uninterrupted one.
+        """
+        state = copy.deepcopy(
+            {name: getattr(self, name) for name in self._SNAPSHOT_FIELDS},
+            self._snapshot_memo())
+        state["config"] = self.config
+        return state
+
+    @classmethod
+    def restore(cls, snap, observer=None):
+        """Rebuild a node from a :meth:`snapshot`; resume() continues
+        the run.  The snapshot is copied, so it can be restored again."""
+        node = cls(snap["config"], observer=observer)
+        state = copy.deepcopy(
+            {name: snap[name] for name in cls._SNAPSHOT_FIELDS},
+            node._snapshot_memo())
+        for name, value in state.items():
+            setattr(node, name, value)
+        # __init__ built fresh cross-linked helpers; re-link them to
+        # the restored state (stats/rng identity is preserved inside
+        # one deepcopy call, but the injector was built against the
+        # fresh stats object).
+        if node.injector is not None:
+            node.injector = FaultInjector(node.config.fault_plan,
+                                          node.stats)
+        node.memory.injector = node.injector
+        return node
 
 
 def run_program(program, config, overrides=None, max_cycles=5_000_000,
-                observer=None):
+                observer=None, watchdog_cycles=None):
     """Convenience wrapper: simulate ``program`` on ``config``."""
     node = Node(config, observer=observer)
-    return node.run(program, overrides=overrides, max_cycles=max_cycles)
+    return node.run(program, overrides=overrides, max_cycles=max_cycles,
+                    watchdog_cycles=watchdog_cycles)

@@ -28,6 +28,12 @@ class Stats:
         self.memory_parked = 0
         self.memory_queue_waits = 0
         self.opcache_misses = 0
+        self.fault_reroutes = 0
+        self.fault_issue_stalls = 0
+        self.fault_writeback_stalls = 0
+        self.fault_mem_stall_cycles = 0
+        self.fault_blackout_stalls = 0
+        self.fault_presence_stalls = 0
         self.spawn_queue_waits = 0
         self.threads_spawned = 0
         self.threads_finished = 0
@@ -69,6 +75,8 @@ class Stats:
             "writeback_conflicts": self.writeback_conflicts,
             "arbitration_losses": self.arbitration_losses,
             "opcache_misses": self.opcache_misses,
+            "fault_reroutes": self.fault_reroutes,
+            "fault_stall_cycles": self.fault_mem_stall_cycles,
         }
 
     def __str__(self):

@@ -1,13 +1,15 @@
 """Robustness properties: determinism, correctness under random memory
-latencies, restricted interconnects, and thread interleavings."""
+latencies, restricted interconnects, thread interleavings, and injected
+faults."""
 
 import hypothesis.strategies as st
 from hypothesis import given, settings
 
-from repro import compile_program, run_program
+from repro import ReproError, compile_program, run_program
 from repro.machine import CommScheme, baseline
 from repro.machine.memory import MemorySpec
 from repro.programs import get_benchmark
+from repro.sim.faults import FaultEvent, FaultPlan
 
 THREADED_SOURCE = """
 (program
@@ -87,3 +89,72 @@ class TestInterconnectRobustness:
                                    mode="coupled")
         result = run_program(compiled.program, config, overrides=inputs)
         assert not bench.check(result, inputs)
+
+
+_UNIT_IDS = tuple(sorted(baseline().unit_by_id))
+
+_fault_events = st.lists(
+    st.one_of(
+        st.builds(FaultEvent,
+                  kind=st.just("unit_offline"),
+                  unit=st.sampled_from(_UNIT_IDS),
+                  start=st.integers(0, 2000),
+                  duration=st.integers(1, 500)),
+        st.builds(FaultEvent,
+                  kind=st.just("writeback_block"),
+                  unit=st.sampled_from(_UNIT_IDS),
+                  start=st.integers(0, 2000),
+                  duration=st.integers(1, 200)),
+        st.builds(FaultEvent,
+                  kind=st.just("mem_delay"),
+                  start=st.integers(0, 2000),
+                  duration=st.integers(1, 500),
+                  extra=st.integers(1, 30)),
+        st.builds(FaultEvent,
+                  kind=st.just("bank_blackout"),
+                  start=st.integers(0, 2000),
+                  duration=st.integers(1, 200),
+                  lo=st.integers(0, 32),
+                  hi=st.integers(64, 1024)),
+        st.builds(FaultEvent,
+                  kind=st.just("presence_stall"),
+                  start=st.integers(0, 2000),
+                  duration=st.integers(1, 300),
+                  extra=st.integers(1, 20)),
+    ),
+    max_size=6)
+
+
+class TestFaultResilience:
+    @given(seed=st.integers(0, 2**31), rate=st.floats(0.5, 6.0))
+    @settings(max_examples=10, deadline=None)
+    def test_same_fault_seed_same_cycles(self, seed, rate):
+        """Same FaultPlan seed => identical cycle count and stats."""
+        plan = FaultPlan.random(seed, baseline(), rate=rate,
+                                horizon=3000)
+        config = baseline().with_faults(plan)
+        a = run_threaded(config)
+        b = run_threaded(config)
+        assert a.cycles == b.cycles
+        assert a.stats.summary() == b.stats.summary()
+        assert a.read_symbol("B") == EXPECTED
+
+    @given(events=_fault_events, reroute=st.booleans())
+    @settings(max_examples=25, deadline=None)
+    def test_any_plan_completes_or_raises_structured_error(self, events,
+                                                           reroute):
+        """An arbitrary fault plan either finishes with correct output
+        or raises a structured ReproError — never a hang (the watchdog
+        bounds the run) or a bare exception."""
+        config = baseline().with_faults(FaultPlan(events,
+                                                  reroute=reroute))
+        compiled = compile_program(THREADED_SOURCE, config,
+                                   mode="coupled")
+        try:
+            result = run_program(compiled.program, config,
+                                 overrides=INPUT, max_cycles=100_000,
+                                 watchdog_cycles=3_000)
+        except ReproError:
+            pass                        # structured failure is allowed
+        else:
+            assert result.read_symbol("B") == EXPECTED

@@ -1,0 +1,144 @@
+"""Unit tests for the fault-injection subsystem (repro.sim.faults)."""
+
+import pytest
+
+from repro import baseline
+from repro.errors import FaultConfigError
+from repro.sim.faults import FaultEvent, FaultInjector, FaultPlan
+from repro.sim.stats import Stats
+
+
+class TestFaultEvent:
+    def test_window_membership(self):
+        event = FaultEvent("unit_offline", start=10, duration=5,
+                           unit="c0.iu0")
+        assert not event.active(9)
+        assert event.active(10) and event.active(14)
+        assert not event.active(15)
+
+    def test_address_window(self):
+        event = FaultEvent("mem_delay", start=0, duration=1, extra=3,
+                           lo=8, hi=16)
+        assert not event.covers(7)
+        assert event.covers(8) and event.covers(15)
+        assert not event.covers(16)
+
+    def test_open_ended_address_window(self):
+        event = FaultEvent("bank_blackout", start=0, duration=1)
+        assert event.covers(0) and event.covers(10**6)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(kind="nonsense", start=0, duration=1),
+        dict(kind="unit_offline", start=0, duration=1),          # no unit
+        dict(kind="unit_offline", start=-1, duration=1, unit="u"),
+        dict(kind="unit_offline", start=0, duration=0, unit="u"),
+        dict(kind="mem_delay", start=0, duration=1),             # no extra
+        dict(kind="presence_stall", start=0, duration=1, extra=0),
+        dict(kind="mem_delay", start=0, duration=1, extra=1,
+             lo=8, hi=8),                                        # empty
+    ])
+    def test_bad_events_rejected(self, kwargs):
+        with pytest.raises(FaultConfigError):
+            FaultEvent(**kwargs)
+
+
+class TestFaultPlan:
+    def test_json_round_trip(self):
+        plan = FaultPlan([
+            FaultEvent("unit_offline", start=5, duration=100,
+                       unit="c0.iu0"),
+            FaultEvent("mem_delay", start=0, duration=50, extra=7,
+                       lo=0, hi=64),
+        ], reroute=False, label="test")
+        again = FaultPlan.from_json(plan.to_json())
+        assert again.to_dict() == plan.to_dict()
+        assert again.reroute is False
+        assert len(again) == 2
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(FaultConfigError, match="not valid JSON"):
+            FaultPlan.from_json("{")
+        with pytest.raises(FaultConfigError):
+            FaultPlan.from_json('{"events": 3}')
+        with pytest.raises(FaultConfigError, match="unknown fault"):
+            FaultPlan.from_json('{"events": [], "bogus": 1}')
+
+    def test_validate_against_unknown_unit(self):
+        plan = FaultPlan([FaultEvent("unit_offline", start=0, duration=1,
+                                     unit="c9.iu0")])
+        with pytest.raises(FaultConfigError, match="c9.iu0"):
+            plan.validate_against(baseline())
+
+    def test_validate_against_bad_address_window(self):
+        plan = FaultPlan([FaultEvent("mem_delay", start=0, duration=1,
+                                     extra=1, lo=0, hi=10**9)])
+        with pytest.raises(FaultConfigError, match="outside memory"):
+            plan.validate_against(baseline())
+
+    def test_config_attachment_validates(self):
+        plan = FaultPlan([FaultEvent("unit_offline", start=0, duration=1,
+                                     unit="c9.iu0")])
+        with pytest.raises(FaultConfigError):
+            baseline().with_faults(plan)
+
+    def test_with_faults_survives_derivation(self):
+        plan = FaultPlan([FaultEvent("unit_offline", start=0, duration=1,
+                                     unit="c0.iu0")])
+        config = baseline().with_faults(plan)
+        assert config.with_seed(9).fault_plan is plan
+        assert config.with_arbitration("round-robin").fault_plan is plan
+        assert config.with_faults(None).fault_plan is None
+
+    def test_random_plan_is_deterministic(self):
+        config = baseline()
+        a = FaultPlan.random(3, config, rate=2.0, horizon=5000)
+        b = FaultPlan.random(3, config, rate=2.0, horizon=5000)
+        assert a.to_dict() == b.to_dict()
+        assert len(a) == 10
+        assert all(e.kind == "unit_offline" for e in a.events)
+        a.validate_against(config)
+
+
+class TestFaultInjector:
+    def _injector(self, events, reroute=True):
+        return FaultInjector(FaultPlan(events, reroute=reroute), Stats())
+
+    def test_unit_windows_merge(self):
+        injector = self._injector([
+            FaultEvent("unit_offline", start=10, duration=10, unit="u"),
+            FaultEvent("unit_offline", start=15, duration=10, unit="u"),
+            FaultEvent("unit_offline", start=40, duration=5, unit="u"),
+        ])
+        assert not injector.unit_offline("u", 9)
+        assert injector.unit_offline("u", 12)
+        assert injector.unit_offline("u", 24)    # merged overlap
+        assert not injector.unit_offline("u", 25)
+        assert injector.unit_offline("u", 44)
+        assert not injector.unit_offline("other", 12)
+
+    def test_writeback_block_is_separate(self):
+        injector = self._injector([
+            FaultEvent("writeback_block", start=0, duration=5, unit="u")])
+        assert injector.writeback_blocked("u", 0)
+        assert not injector.unit_offline("u", 0)
+
+    def test_memory_stall_sums_delays_and_respects_blackout(self):
+        injector = self._injector([
+            FaultEvent("mem_delay", start=0, duration=100, extra=4,
+                       lo=0, hi=32),
+            FaultEvent("mem_delay", start=0, duration=100, extra=2),
+            FaultEvent("bank_blackout", start=50, duration=20,
+                       lo=0, hi=16),
+        ])
+        assert injector.memory_stall(8, 10) == 6       # both delays
+        assert injector.memory_stall(40, 10) == 2      # second only
+        assert injector.memory_stall(8, 55) == 15      # blackout until 70
+        assert injector.memory_stall(8, 200) == 0
+
+    def test_presence_delay(self):
+        injector = self._injector([
+            FaultEvent("presence_stall", start=0, duration=10, extra=8,
+                       lo=4, hi=5)])
+        assert injector.presence_delay(4, 3) == 8
+        assert injector.presence_delay(5, 3) == 0
+        assert injector.presence_delay(4, 11) == 0
