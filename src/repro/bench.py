@@ -1,0 +1,162 @@
+"""``repro bench``: the performance trajectory of the simulator itself.
+
+Runs the paper suite (benchmark x mode on the baseline machine),
+records wall-clock seconds, simulated cycles, and cycles/second per
+cell, and writes ``BENCH_<YYYYMMDD>.json`` — one point on the repo's
+performance trajectory.  Compare files across commits to see whether
+the simulator is getting faster.
+
+::
+
+    python -m repro bench                  # full suite, serial
+    python -m repro bench --quick          # CI smoke subset
+    python -m repro bench --workers 4      # process-pool fan-out
+    python -m repro bench --no-fast-forward  # disable skip-ahead
+
+Output schema (version 1)::
+
+    {
+      "schema": 1,
+      "date": "YYYYMMDD",
+      "suite": "full" | "quick",
+      "workers": N,
+      "seed": N,
+      "fast_forward": bool,
+      "total_wall_s": float,        # whole-suite wall clock
+      "results": [
+        {"benchmark": ..., "mode": ..., "cycles": int,
+         "operations": int, "wall_s": float, "compile_s": float,
+         "cycles_per_sec": float, "stats": {<Stats.summary()>}},
+        ...
+      ]
+    }
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from .experiments.paper import MODE_ORDER
+from .experiments.runner import Harness, RunSpec
+from .programs import get_benchmark
+from .programs.suite import BENCHMARK_ORDER
+
+#: Benchmarks in the CI smoke subset (LUD dominates full-suite wall
+#: clock, so --quick drops it).
+QUICK_BENCHMARKS = ("matrix", "fft", "model")
+
+SCHEMA_VERSION = 1
+
+
+def suite_specs(quick=False):
+    """The paper suite as RunSpecs: benchmark x supported mode."""
+    benchmarks = QUICK_BENCHMARKS if quick else BENCHMARK_ORDER
+    specs = []
+    for benchmark in benchmarks:
+        modes = [m for m in MODE_ORDER
+                 if m in get_benchmark(benchmark).modes]
+        specs.extend(RunSpec(benchmark, mode) for mode in modes)
+    return specs
+
+
+def run_suite(harness, specs, workers=None):
+    """Run the specs and shape the per-cell records."""
+    results = harness.run_many(specs, workers=workers)
+    records = []
+    for result in results:
+        records.append({
+            "benchmark": result.benchmark,
+            "mode": result.mode,
+            "cycles": result.cycles,
+            "operations": result.stats.total_operations,
+            "wall_s": round(result.wall_seconds, 6),
+            "compile_s": round(result.compile_seconds, 6),
+            "cycles_per_sec": round(result.cycles_per_second, 1),
+            "stats": result.stats.summary(),
+        })
+    return records
+
+
+def bench_filename(date=None):
+    date = date or time.strftime("%Y%m%d")
+    return "BENCH_%s.json" % date
+
+
+def render(report):
+    """A human-readable digest of one bench report."""
+    lines = ["bench %s: suite=%s workers=%s fast_forward=%s"
+             % (report["date"], report["suite"], report["workers"],
+                report["fast_forward"])]
+    lines.append("%-10s %-8s %10s %9s %9s %12s"
+                 % ("benchmark", "mode", "cycles", "wall_s",
+                    "compile_s", "cycles/sec"))
+    for record in report["results"]:
+        lines.append("%-10s %-8s %10d %9.3f %9.3f %12.0f"
+                     % (record["benchmark"], record["mode"],
+                        record["cycles"], record["wall_s"],
+                        record["compile_s"], record["cycles_per_sec"]))
+    total_cycles = sum(r["cycles"] for r in report["results"])
+    lines.append("total: %d cells, %d simulated cycles, %.2fs wall "
+                 "(%.0f cycles/sec overall)"
+                 % (len(report["results"]), total_cycles,
+                    report["total_wall_s"],
+                    total_cycles / report["total_wall_s"]
+                    if report["total_wall_s"] > 0 else 0.0))
+    return "\n".join(lines)
+
+
+def main(argv=None, out=None):
+    out = out or sys.stdout
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description="Benchmark the simulator on the paper suite and "
+                    "record a BENCH_<date>.json trajectory point.")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke subset (drops LUD)")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="fan the suite out over N worker processes")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="input-data seed (default 1)")
+    parser.add_argument("--no-check", action="store_true",
+                        help="skip result validation against references")
+    parser.add_argument("--no-fast-forward", action="store_true",
+                        help="simulate every cycle (disable skip-ahead)")
+    parser.add_argument("--no-compile-cache", action="store_true",
+                        help="disable the on-disk compile cache")
+    parser.add_argument("-o", "--output", metavar="PATH",
+                        help="output path (default BENCH_<date>.json in "
+                             "the current directory)")
+    args = parser.parse_args(argv)
+
+    harness = Harness(seed=args.seed, check=not args.no_check,
+                      fast_forward=not args.no_fast_forward,
+                      compile_cache=False if args.no_compile_cache
+                      else "auto")
+    specs = suite_specs(quick=args.quick)
+    started = time.perf_counter()
+    records = run_suite(harness, specs, workers=args.workers)
+    total_wall = time.perf_counter() - started
+
+    report = {
+        "schema": SCHEMA_VERSION,
+        "date": time.strftime("%Y%m%d"),
+        "suite": "quick" if args.quick else "full",
+        "workers": args.workers or 1,
+        "seed": args.seed,
+        "fast_forward": not args.no_fast_forward,
+        "total_wall_s": round(total_wall, 6),
+        "results": records,
+    }
+    path = args.output or bench_filename(report["date"])
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    out.write(render(report) + "\n")
+    out.write("wrote %s\n" % os.path.abspath(path))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,7 @@
     python -m repro run prog.s --asm --trace --window 60
     python -m repro modes            # list machine modes
     python -m repro describe         # show the baseline machine
+    python -m repro bench --quick    # benchmark the simulator itself
 
 Programs are the mini-language (``.sexp``) or assembly (``--asm``).
 """
@@ -128,6 +129,12 @@ def _add_program_options(parser):
 
 def main(argv=None, out=None):
     out = out or sys.stdout
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    # ``bench`` owns its option surface; dispatch before parsing so its
+    # flags aren't constrained by the shared program options.
+    if argv and argv[0] == "bench":
+        from . import bench
+        return bench.main(argv[1:], out=out)
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Processor coupling: compile and simulate programs "
@@ -163,6 +170,10 @@ def main(argv=None, out=None):
                                  "without forward progress "
                                  "(default 100000)")
     run_parser.set_defaults(func=cmd_run)
+
+    # Listed for --help only; real dispatch happens above.
+    sub.add_parser("bench", add_help=False,
+                   help="benchmark the simulator on the paper suite")
 
     modes_parser = sub.add_parser("modes", help="list machine modes")
     modes_parser.set_defaults(func=cmd_modes)

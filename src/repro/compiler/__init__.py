@@ -8,11 +8,12 @@ software pipelining, exactly as in the paper.
 """
 
 from .astnodes import ProgramAST
+from .cache import CompileCache, default_cache
 from .driver import CompiledProgram, compile_program, iter_forks
 from .frontend import parse_program
 from .interp import InterpResult, interpret
 from .schedule.modes import MODES
 
-__all__ = ["ProgramAST", "CompiledProgram", "compile_program",
-           "iter_forks", "parse_program", "InterpResult", "interpret",
-           "MODES"]
+__all__ = ["ProgramAST", "CompileCache", "default_cache",
+           "CompiledProgram", "compile_program", "iter_forks",
+           "parse_program", "InterpResult", "interpret", "MODES"]

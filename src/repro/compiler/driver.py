@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 from ..errors import CompileError
 from ..isa.instruction import DataSegment, Program
+from . import cache as compile_cache
 from . import liveness
 from .astnodes import (ExprStmt, Fork, If, Let, ProgramAST, Seq, SetVar,
                        While)
@@ -136,13 +137,16 @@ def _topological_variants(bodies):
 
 
 def compile_program(source, config, mode="sts", optimize=True,
-                    options=None):
+                    options=None, cache=None):
     """Compile source text (or a parsed :class:`ProgramAST`) for the
     given machine configuration and simulation mode.
 
     ``options`` (a :class:`CompilerOptions`) overrides individual
     pipeline features; ``optimize=False`` is shorthand for disabling
-    the whole scalar optimizer.
+    the whole scalar optimizer.  ``cache`` (a
+    :class:`~repro.compiler.cache.CompileCache`) memoizes the compiled
+    program on disk, keyed by (source hash, mode, schedule signature,
+    options); only string sources are cacheable.
     """
     if options is None:
         options = DEFAULT_OPTIONS if optimize else \
@@ -150,6 +154,13 @@ def compile_program(source, config, mode="sts", optimize=True,
     if mode not in MODES:
         raise CompileError("unknown mode %r (one of %s)"
                            % (mode, ", ".join(MODES)))
+    cache_key = None
+    if cache is not None:
+        cache_key = compile_cache.compile_key(source, mode, config,
+                                              options)
+        cached = cache.get(cache_key)
+        if cached is not None:
+            return cached
     ast = source if isinstance(source, ProgramAST) else \
         parse_program(source)
     consts = resolve_consts(ast.consts)
@@ -216,4 +227,7 @@ def compile_program(source, config, mode="sts", optimize=True,
         program.register_usage[variant] = report.peak_registers
 
     program.validate()
-    return CompiledProgram(program, config, mode, reports, consts)
+    compiled = CompiledProgram(program, config, mode, reports, consts)
+    if cache is not None:
+        cache.put(cache_key, compiled)
+    return compiled

@@ -15,7 +15,7 @@ Run them from the command line::
 """
 
 from . import figure5, figure6, figure7, figure8, paper, table2, table3
-from .runner import Harness, RunResult
+from .runner import Harness, RunResult, RunSpec
 
 __all__ = ["figure5", "figure6", "figure7", "figure8", "paper",
-           "table2", "table3", "Harness", "RunResult"]
+           "table2", "table3", "Harness", "RunResult", "RunSpec"]

@@ -23,7 +23,7 @@ def run(harness=None, config=None):
             result = harness.run(benchmark, mode, config)
             row = {"benchmark": benchmark, "mode": mode}
             for kind in _KINDS:
-                row[kind.value] = result.utilization[kind]
+                row[kind.value] = result.utilization[kind.value]
             rows.append(row)
     return rows
 

@@ -1,13 +1,39 @@
-"""Shared experiment runner with compile and simulation caching."""
+"""Shared experiment runner: compile and simulation caching, wall-clock
+accounting, and a process-pool fan-out for sweep grids.
 
-from dataclasses import dataclass, field
+The paper's evaluation is an embarrassingly parallel grid — benchmarks
+x modes x machine configurations, every cell independent — so
+:meth:`Harness.run_many` can dispatch cells to worker processes and
+merge their compile/run caches back into the parent.  Parallel runs
+are bit-identical to serial ones: each cell's result depends only on
+its (benchmark, mode, config, seed), never on scheduling order, and
+every worker derives its inputs from the same harness seed.
+"""
 
-from ..compiler import compile_program
+import time
+from dataclasses import dataclass
+
+from ..compiler import CompileCache, compile_program, default_cache
 from ..errors import ReproError
-from ..isa.operations import UnitClass
 from ..machine import baseline
 from ..programs import get_benchmark
 from ..sim import run_program
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One (benchmark, mode, config) cell of a sweep grid.
+
+    Picklable, so a batch of specs can fan out across processes.
+    ``config=None`` means the baseline machine; ``tag`` overrides the
+    run-cache key (rarely needed now that the key covers the full run
+    signature, but kept for explicit grouping).
+    """
+
+    benchmark: str
+    mode: str
+    config: object = None
+    tag: object = None
 
 
 @dataclass
@@ -18,29 +44,54 @@ class RunResult:
     mode: str
     config: object
     cycles: int
-    utilization: dict               # UnitClass -> ops/cycle
+    utilization: dict               # unit-class name -> ops/cycle
     stats: object
     compiled: object
     sim: object
     verified: bool
+    wall_seconds: float = 0.0       # simulation wall clock
+    compile_seconds: float = 0.0    # compilation wall clock (0 on hit)
 
     @property
     def fpu_util(self):
-        return self.utilization[UnitClass.FPU]
+        return self.utilization["fpu"]
 
     @property
     def iu_util(self):
-        return self.utilization[UnitClass.IU]
+        return self.utilization["iu"]
+
+    @property
+    def cycles_per_second(self):
+        """Simulated cycles per wall-clock second (perf trajectory)."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.cycles / self.wall_seconds
 
 
 class Harness:
     """Caches compilations (per machine signature) and simulations so
-    the table/figure generators can share runs."""
+    the table/figure generators can share runs.
 
-    def __init__(self, seed=1, check=True, max_cycles=5_000_000):
+    ``fast_forward`` toggles the simulator's skip-ahead fast path
+    (results are identical either way).  ``compile_cache`` controls the
+    persistent on-disk compile cache: the default uses
+    ``~/.cache/repro`` (or ``$REPRO_CACHE_DIR``; ``REPRO_NO_CACHE=1``
+    disables it), ``False``/``None`` disables it for this harness, and
+    a :class:`~repro.compiler.cache.CompileCache` instance is used
+    as-is.
+    """
+
+    def __init__(self, seed=1, check=True, max_cycles=5_000_000,
+                 fast_forward=True, compile_cache="auto"):
         self.seed = seed
         self.check = check
         self.max_cycles = max_cycles
+        self.fast_forward = fast_forward
+        if compile_cache == "auto":
+            compile_cache = default_cache()
+        elif not compile_cache:
+            compile_cache = None
+        self.disk_cache = compile_cache
         self._compiled = {}
         self._runs = {}
         self._inputs = {}
@@ -56,22 +107,35 @@ class Harness:
         if key not in self._compiled:
             bench = get_benchmark(benchmark)
             self._compiled[key] = compile_program(bench.source(mode),
-                                                  config, mode=mode)
+                                                  config, mode=mode,
+                                                  cache=self.disk_cache)
         return self._compiled[key]
+
+    def _run_key(self, benchmark, mode, config, tag):
+        """The run-cache key.  Everything a simulation's outcome
+        depends on participates: the full config run signature (which
+        covers the fault plan, seed, op cache, arbitration, ...) plus
+        the harness-level input seed and cycle budget."""
+        if tag is not None:
+            return (benchmark, mode, tag)
+        return (benchmark, mode, config.run_signature(), self.seed,
+                self.max_cycles)
 
     def run(self, benchmark, mode, config=None, tag=None):
         config = config or baseline()
-        key = (benchmark, mode, tag if tag is not None
-               else (config.schedule_signature(),
-                     config.interconnect.scheme, config.memory.name,
-                     config.seed))
+        key = self._run_key(benchmark, mode, config, tag)
         if key in self._runs:
             return self._runs[key]
         bench = get_benchmark(benchmark)
+        started = time.perf_counter()
         compiled = self.compile(benchmark, mode, config)
+        compile_seconds = time.perf_counter() - started
         inputs = self.inputs_for(benchmark)
+        started = time.perf_counter()
         sim = run_program(compiled.program, config, overrides=inputs,
-                          max_cycles=self.max_cycles)
+                          max_cycles=self.max_cycles,
+                          fast_forward=self.fast_forward)
+        wall_seconds = time.perf_counter() - started
         verified = True
         if self.check:
             problems = bench.check(sim, inputs)
@@ -81,6 +145,92 @@ class Harness:
                     % (benchmark, mode, config.name, problems[:3]))
         result = RunResult(benchmark, mode, config, sim.cycles,
                            sim.stats.utilization_table(), sim.stats,
-                           compiled, sim, verified)
+                           compiled, sim, verified,
+                           wall_seconds=wall_seconds,
+                           compile_seconds=compile_seconds)
         self._runs[key] = result
         return result
+
+    # -- parallel fan-out ------------------------------------------------
+
+    def run_many(self, specs, workers=None):
+        """Run a batch of specs, optionally across worker processes.
+
+        ``specs`` is an iterable of :class:`RunSpec` or
+        ``(benchmark, mode[, config[, tag]])`` tuples.  ``workers``
+        <= 1 (or None) runs serially in-process; otherwise a process
+        pool of that size is used and each worker's compile and run
+        results are merged back into this harness's caches, so
+        subsequent :meth:`run` calls hit.  Falls back to serial
+        execution when process pools are unavailable.  Results come
+        back in spec order and are bit-identical to a serial run.
+        """
+        specs = [self._coerce_spec(spec) for spec in specs]
+        if workers is None or workers <= 1 or len(specs) <= 1:
+            return [self.run(s.benchmark, s.mode, s.config, s.tag)
+                    for s in specs]
+        # Dedupe against the cache and within the batch.
+        todo = {}
+        for spec in specs:
+            key = self._run_key(spec.benchmark, spec.mode,
+                                spec.config or baseline(), spec.tag)
+            if key not in self._runs and key not in todo:
+                todo[key] = spec
+        if todo:
+            merged = self._run_pool(list(todo.items()), workers)
+            if merged is None:          # pool unavailable: serial fallback
+                for spec in todo.values():
+                    self.run(spec.benchmark, spec.mode, spec.config,
+                             spec.tag)
+            else:
+                for key, result in merged:
+                    self._absorb(key, result)
+        return [self._runs[self._run_key(s.benchmark, s.mode,
+                                         s.config or baseline(), s.tag)]
+                for s in specs]
+
+    @staticmethod
+    def _coerce_spec(spec):
+        if isinstance(spec, RunSpec):
+            return spec
+        return RunSpec(*spec)
+
+    def _worker_payload(self):
+        cache_root = self.disk_cache.root if self.disk_cache is not None \
+            else None
+        return (self.seed, self.check, self.max_cycles,
+                self.fast_forward, cache_root)
+
+    def _run_pool(self, keyed_specs, workers):
+        """Execute (key, spec) pairs on a process pool; returns the
+        (key, result) list, or None when no pool could be created."""
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+            pool = ProcessPoolExecutor(max_workers=workers)
+        except (ImportError, NotImplementedError, OSError):
+            return None
+        payload = self._worker_payload()
+        try:
+            futures = [(key, pool.submit(_run_spec_in_worker, payload,
+                                         spec))
+                       for key, spec in keyed_specs]
+            return [(key, future.result()) for key, future in futures]
+        finally:
+            pool.shutdown()
+
+    def _absorb(self, key, result):
+        """Merge one worker result into the run and compile caches."""
+        self._runs[key] = result
+        if result.compiled is not None:
+            ckey = (result.benchmark, result.mode,
+                    result.config.schedule_signature())
+            self._compiled.setdefault(ckey, result.compiled)
+
+
+def _run_spec_in_worker(payload, spec):
+    """Process-pool entry point: rebuild a harness and run one spec."""
+    seed, check, max_cycles, fast_forward, cache_root = payload
+    cache = CompileCache(cache_root) if cache_root is not None else None
+    harness = Harness(seed=seed, check=check, max_cycles=max_cycles,
+                      fast_forward=fast_forward, compile_cache=cache)
+    return harness.run(spec.benchmark, spec.mode, spec.config, spec.tag)

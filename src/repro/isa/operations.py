@@ -75,6 +75,17 @@ class OpcodeSpec:
         """True for any operation executed by a branch unit."""
         return self.unit is UnitClass.BRU
 
+    def __reduce__(self):
+        # Registry specs pickle (and deepcopy) by name: the semantics
+        # functions are lambdas, which cannot cross process boundaries,
+        # but every spec is interned in ``_REGISTRY`` so a name lookup
+        # restores the identical object.  This is what lets compiled
+        # programs and simulation results travel to worker processes
+        # and live in the on-disk compile cache.
+        if _REGISTRY.get(self.name) is self:
+            return (opcode, (self.name,))
+        return super().__reduce__()
+
 
 _REGISTRY = {}
 

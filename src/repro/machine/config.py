@@ -193,6 +193,22 @@ class MachineConfig:
                          for c in self.clusters)
         return (clusters, self.memory.hit_latency)
 
+    def run_signature(self):
+        """Hashable summary of everything a *simulation* depends on:
+        two configs with equal run signatures produce bit-identical
+        runs of the same program.  This is the cache key the experiment
+        harness uses, so every dynamic knob — interconnect, memory
+        model, arbitration, seed, operation cache, active-set limit,
+        and the fault plan — must participate; ``name`` and other
+        cosmetics must not."""
+        fault_sig = None
+        if self.fault_plan is not None:
+            fault_sig = (self.fault_plan.reroute, self.fault_plan.events)
+        return (self.schedule_signature(), self.interconnect,
+                self.memory, self.arbitration, self.memory_size,
+                self.seed, self.op_cache, self.max_active_threads,
+                fault_sig)
+
     def describe(self):
         """Human-readable summary (one line per cluster)."""
         lines = ["machine %s: %d clusters, interconnect=%s, memory=%s"

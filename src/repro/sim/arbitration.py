@@ -9,6 +9,12 @@ two policies:
   the policy behind Table 3's per-thread interference measurements.
 * ``round-robin`` — the scan order rotates every cycle, spreading
   grants evenly across threads.
+
+Arbiters may carry state across cycles (the round-robin rotation
+counter), so a :class:`~repro.sim.node.Node` snapshot includes its
+arbiter.  ``advance(n)`` lets the simulator's skip-ahead fast path
+account for cycles it never simulates, keeping a fast-forwarded run
+bit-identical to a cycle-by-cycle one.
 """
 
 from ..errors import ConfigError
@@ -22,18 +28,55 @@ class PriorityArbiter:
     def order(self, threads, cycle):
         return sorted(threads, key=lambda t: (t.priority, t.tid))
 
+    def advance(self, cycles, threads=()):
+        """Stateless policy: skipped cycles change nothing."""
+
 
 class RoundRobinArbiter:
-    """Rotate the scan start point each cycle."""
+    """Rotate the scan start point each cycle.
+
+    The rotation resumes from the thread *identity* that led the
+    previous scan — each cycle starts from the next-higher live tid,
+    wrapping — rather than from ``cycle % len(threads)``.  Keying the
+    phase to the cycle number makes the rotation jump whenever the
+    number of live threads changes (a thread finishing or spawning
+    mid-run), which can systematically starve a thread whose slot keeps
+    landing on the same phase; resuming from the last-served tid keeps
+    the scan walking evenly over whoever is live, no matter how the
+    population churns.
+    """
 
     name = "round-robin"
+
+    def __init__(self):
+        self._next = 0      # resume the scan at the first tid >= this
 
     def order(self, threads, cycle):
         ordered = sorted(threads, key=lambda t: t.tid)
         if not ordered:
             return ordered
-        start = cycle % len(ordered)
+        start = 0
+        for index, thread in enumerate(ordered):
+            if thread.tid >= self._next:
+                start = index
+                break
+        self._next = ordered[start].tid + 1
         return ordered[start:] + ordered[:start]
+
+    def advance(self, cycles, threads=()):
+        """Account for ``cycles`` skipped quiet cycles, during which the
+        scan head would have walked once per cycle over a stable
+        ``threads`` population."""
+        tids = sorted(t.tid for t in threads)
+        if cycles <= 0 or not tids:
+            return
+        start = 0
+        for index, tid in enumerate(tids):
+            if tid >= self._next:
+                start = index
+                break
+        last = (start + cycles - 1) % len(tids)
+        self._next = tids[last] + 1
 
 
 def make_arbiter(policy):

@@ -205,6 +205,15 @@ class MemorySystem:
     def has_in_flight(self):
         return bool(self._in_flight) or bool(self._deferred_bits)
 
+    def next_event_cycle(self):
+        """Earliest cycle an in-flight reference completes or a deferred
+        presence-bit update lands, or None when neither is pending."""
+        wake = self._in_flight[0][0] if self._in_flight else None
+        if self._deferred_bits:
+            deferred = self._deferred_bits[0][0]
+            wake = deferred if wake is None else min(wake, deferred)
+        return wake
+
     def parked_summary(self):
         """Describe parked references (for deadlock diagnostics)."""
         lines = []

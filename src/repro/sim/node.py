@@ -75,15 +75,18 @@ class Node:
 
     MAX_THREADS = 4096
 
-    def __init__(self, config, observer=None):
+    def __init__(self, config, observer=None, fast_forward=True):
         self.config = config
         self.observer = observer
+        self.fast_forward = bool(fast_forward)
         self.stats = Stats()
         self.rng = random.Random(config.seed)
+        fill_board = {} if config.op_cache is not None else None
         self.units = {
             slot.uid: FunctionUnitState(
                 slot,
-                opcache=OperationCache(config.op_cache, self.stats)
+                opcache=OperationCache(config.op_cache, self.stats,
+                                       fill_board=fill_board)
                 if config.op_cache is not None else None)
             for slot in config.units}
         self.unit_order = [slot.uid for slot in config.units]
@@ -105,6 +108,11 @@ class Node:
         self._last_progress = 0
         self._fault_stalled = False
         self._program = None
+        # Skip-ahead diagnostics (not part of Stats: the fast path must
+        # leave every reported statistic bit-identical to a
+        # cycle-by-cycle run, so its own accounting lives on the node).
+        self.ffwd_jumps = 0
+        self.ffwd_cycles = 0
 
     # -- thread management ----------------------------------------------
 
@@ -392,8 +400,75 @@ class Node:
                        self.config.name))
             if pause_at is not None and self.cycle >= pause_at:
                 return None
+            if self.fast_forward and issued == 0 and completed == 0 \
+                    and wrote == 0 and in_flight:
+                target = self._skip_target(max_cycles, watchdog_cycles,
+                                           pause_at)
+                if target is not None:
+                    # Every active thread is stalled until a timed event
+                    # (pipeline completion, memory reply, deferred
+                    # presence bit, or operation-cache fill): the
+                    # intervening cycles are provably empty, so jump the
+                    # clock instead of simulating them.  The arbiter is
+                    # advanced as if each skipped cycle had rotated.
+                    delta = target - self.cycle
+                    self.arbiter.advance(delta, self.active)
+                    self.cycle = target
+                    self.stats.cycles = self.cycle
+                    self.ffwd_jumps += 1
+                    self.ffwd_cycles += delta
         return SimResult(self.stats, self.memory, self._program,
                          self.config, self.finished + self.active)
+
+    def _skip_target(self, max_cycles, watchdog_cycles, pause_at):
+        """The cycle to fast-forward to, or None when skipping is not
+        provably safe.
+
+        Safe means: no fault plan is attached (fault windows open and
+        close on their own clock), no result is waiting for a
+        register-file port (writebacks retry — and can succeed — every
+        cycle), no thread can fetch a new instruction word, and every
+        pending operation is either missing a source presence bit
+        (which only a timed completion can set) or waiting out an
+        operation-cache fill with a known ready cycle.  The returned
+        target is clamped so the max-cycles, watchdog, and pause checks
+        still fire at exactly the cycle they would have in a
+        cycle-by-cycle run.
+        """
+        if self.injector is not None:
+            return None
+        for uid in self.unit_order:
+            if self.units[uid].writebacks:
+                return None
+        for thread in self.active:
+            if thread.word_done():
+                return None
+            for uid, op in thread.pending.items():
+                if not thread.sources_ready(op):
+                    continue
+                cache = self.units[uid].opcache
+                if cache is None or not cache.fill_pending(thread):
+                    return None     # ready op: could issue next cycle
+        wake = None
+        for uid in self.unit_order:
+            unit = self.units[uid]
+            for event in (unit.next_ready(),
+                          unit.opcache.next_fill_ready()
+                          if unit.opcache is not None else None):
+                if event is not None and (wake is None or event < wake):
+                    wake = event
+        event = self.memory.next_event_cycle()
+        if event is not None and (wake is None or event < wake):
+            wake = event
+        if wake is None:
+            return None             # nothing timed: let deadlock logic run
+        target = min(wake, max_cycles - 1)
+        if watchdog_cycles is not None:
+            target = min(target,
+                         self._last_progress + watchdog_cycles - 1)
+        if pause_at is not None:
+            target = min(target, pause_at - 1)
+        return target if target > self.cycle else None
 
     # -- diagnostics -------------------------------------------------------
 
@@ -480,8 +555,10 @@ class Node:
     # -- checkpoint / restore ---------------------------------------------
 
     _SNAPSHOT_FIELDS = ("stats", "rng", "units", "network", "memory",
-                        "active", "finished", "_spawn_queue", "_next_tid",
-                        "cycle", "_frozen", "_last_progress", "_program")
+                        "arbiter", "active", "finished", "_spawn_queue",
+                        "_next_tid", "cycle", "_frozen", "_last_progress",
+                        "_program", "fast_forward", "ffwd_jumps",
+                        "ffwd_cycles")
 
     def _snapshot_memo(self):
         """Deepcopy memo pinning immutable/shared objects so snapshots
@@ -530,8 +607,13 @@ class Node:
 
 
 def run_program(program, config, overrides=None, max_cycles=5_000_000,
-                observer=None, watchdog_cycles=None):
-    """Convenience wrapper: simulate ``program`` on ``config``."""
-    node = Node(config, observer=observer)
+                observer=None, watchdog_cycles=None, fast_forward=True):
+    """Convenience wrapper: simulate ``program`` on ``config``.
+
+    ``fast_forward=False`` disables the skip-ahead fast path and
+    simulates every cycle (the results are identical either way; the
+    flag exists for differential testing and perf comparison).
+    """
+    node = Node(config, observer=observer, fast_forward=fast_forward)
     return node.run(program, overrides=overrides, max_cycles=max_cycles,
                     watchdog_cycles=watchdog_cycles)

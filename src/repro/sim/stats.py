@@ -58,20 +58,29 @@ class Stats:
         return self.issued_by_kind[kind] / float(self.cycles)
 
     def utilization_table(self):
-        return {kind: self.utilization(kind) for kind in UnitClass}
+        """Utilization per unit class, keyed by the class *name*
+        (``"iu"``, ``"fpu"``, ``"mem"``, ``"bru"``) so the table — and
+        everything built on it — serializes straight to JSON."""
+        return {kind.value: self.utilization(kind) for kind in UnitClass}
 
     def summary(self):
+        """A flat, JSON-serializable digest of the run (plain string
+        keys, int/float values only — ``json.dumps(stats.summary())``
+        must always work; ``repro bench`` and the experiment reports
+        dump it raw)."""
         util = self.utilization_table()
         return {
             "cycles": self.cycles,
             "operations": self.total_operations,
-            "fpu_util": util[UnitClass.FPU],
-            "iu_util": util[UnitClass.IU],
-            "mem_util": util[UnitClass.MEM],
-            "bru_util": util[UnitClass.BRU],
+            "fpu_util": util[UnitClass.FPU.value],
+            "iu_util": util[UnitClass.IU.value],
+            "mem_util": util[UnitClass.MEM.value],
+            "bru_util": util[UnitClass.BRU.value],
             "threads": self.threads_spawned,
             "memory_accesses": self.memory_accesses,
             "memory_misses": self.memory_misses,
+            "memory_parked": self.memory_parked,
+            "memory_queue_waits": self.memory_queue_waits,
             "writeback_conflicts": self.writeback_conflicts,
             "arbitration_losses": self.arbitration_losses,
             "opcache_misses": self.opcache_misses,

@@ -28,14 +28,70 @@ class TestPriority:
 
 class TestRoundRobin:
     def test_rotation(self):
+        # The rotation is per-arbiter state, one step per scan; the
+        # cycle argument is ignored (it used to key the phase, which
+        # starved threads when the population churned).
         threads = [FakeThread(0), FakeThread(1), FakeThread(2)]
         arbiter = RoundRobinArbiter()
         assert [t.tid for t in arbiter.order(threads, 0)] == [0, 1, 2]
         assert [t.tid for t in arbiter.order(threads, 1)] == [1, 2, 0]
-        assert [t.tid for t in arbiter.order(threads, 3)] == [0, 1, 2]
+        assert [t.tid for t in arbiter.order(threads, 3)] == [2, 0, 1]
+        assert [t.tid for t in arbiter.order(threads, 9)] == [0, 1, 2]
+
+    def test_rotation_resumes_after_last_served_tid(self):
+        arbiter = RoundRobinArbiter()
+        arbiter.order([FakeThread(0), FakeThread(1)], 0)     # serves 0
+        # Thread 1 finished; threads 4 and 7 spawned.  The scan resumes
+        # from the next-higher live tid, not from a cycle-derived phase.
+        threads = [FakeThread(0), FakeThread(4), FakeThread(7)]
+        assert [t.tid for t in arbiter.order(threads, 1)] == [4, 7, 0]
+        assert [t.tid for t in arbiter.order(threads, 2)] == [7, 0, 4]
 
     def test_empty(self):
         assert RoundRobinArbiter().order([], 3) == []
+
+    def test_fairness_under_thread_churn(self):
+        # Regression: with the phase keyed to `cycle % len(threads)`, a
+        # transient thread joining every third cycle re-derived the
+        # phase and pinned the scan head, starving thread 0 (it led 10
+        # of 120 scans).  With identity-based rotation the three
+        # persistent threads lead equally often, within +-1.
+        persistent = [FakeThread(0), FakeThread(1), FakeThread(2)]
+        arbiter = RoundRobinArbiter()
+        grants = {0: 0, 1: 0, 2: 0}
+        fresh_tid = 100
+        for cycle in range(120):
+            threads = list(persistent)
+            if cycle % 3 == 0:
+                threads.append(FakeThread(fresh_tid))
+                fresh_tid += 1
+            head = arbiter.order(threads, cycle)[0]
+            if head.tid in grants:
+                grants[head.tid] += 1
+        assert max(grants.values()) - min(grants.values()) <= 1
+
+    def test_advance_matches_repeated_scans(self):
+        # advance(n) must leave the arbiter exactly where n quiet
+        # order() calls would have (the skip-ahead fast path relies on
+        # this for bit-identical results).
+        threads = [FakeThread(0), FakeThread(3), FakeThread(7)]
+        stepped, jumped = RoundRobinArbiter(), RoundRobinArbiter()
+        stepped.order(threads, 0)
+        jumped.order(threads, 0)
+        for cycle in range(11):
+            stepped.order(threads, cycle)
+        jumped.advance(11, threads)
+        assert [t.tid for t in stepped.order(threads, 99)] == \
+               [t.tid for t in jumped.order(threads, 99)]
+
+    def test_advance_noop_cases(self):
+        arbiter = RoundRobinArbiter()
+        arbiter.order([FakeThread(0), FakeThread(1)], 0)
+        before = arbiter._next
+        arbiter.advance(0, [FakeThread(0)])
+        arbiter.advance(5, [])
+        assert arbiter._next == before
+        PriorityArbiter().advance(5, [FakeThread(0)])   # stateless no-op
 
 
 class TestFactory:

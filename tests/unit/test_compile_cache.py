@@ -1,0 +1,128 @@
+"""The persistent on-disk compile cache (repro.compiler.cache)."""
+
+import os
+import pickle
+
+from repro import baseline, compile_program, run_program
+from repro.compiler import CompileCache, default_cache
+from repro.compiler.cache import (cache_disabled_by_env, compile_key,
+                                  default_cache_dir)
+from repro.compiler.options import DEFAULT_OPTIONS, CompilerOptions
+
+SOURCE = """
+(program
+  (global out 4 :int)
+  (main
+    (for (i 0 4)
+      (aset! out i (* i 2)))))
+"""
+
+
+class TestCompileKey:
+    def test_stable_for_identical_inputs(self):
+        config = baseline()
+        assert compile_key(SOURCE, "sts", config, DEFAULT_OPTIONS) == \
+            compile_key(SOURCE, "sts", config, DEFAULT_OPTIONS)
+
+    def test_sensitive_to_every_component(self):
+        config = baseline()
+        base = compile_key(SOURCE, "sts", config, DEFAULT_OPTIONS)
+        assert compile_key(SOURCE + " ", "sts", config,
+                           DEFAULT_OPTIONS) != base
+        assert compile_key(SOURCE, "coupled", config,
+                           DEFAULT_OPTIONS) != base
+        from repro.machine.config import unit_mix
+        assert compile_key(SOURCE, "sts", unit_mix(2, 2),
+                           DEFAULT_OPTIONS) != base
+        assert compile_key(SOURCE, "sts", config,
+                           CompilerOptions(optimize=False)) != base
+
+    def test_schedule_invariant_config_changes_share_keys(self):
+        # Seed and interconnect don't feed the scheduler, so the same
+        # compilation is reused across them.
+        config = baseline()
+        assert compile_key(SOURCE, "sts", config, DEFAULT_OPTIONS) == \
+            compile_key(SOURCE, "sts", config.with_seed(99),
+                        DEFAULT_OPTIONS)
+
+    def test_parsed_ast_is_not_cacheable(self):
+        from repro.compiler import parse_program
+        ast = parse_program(SOURCE)
+        assert compile_key(ast, "sts", baseline(), DEFAULT_OPTIONS) \
+            is None
+
+
+class TestCompileCache:
+    def test_round_trip_through_driver(self, tmp_path):
+        cache = CompileCache(str(tmp_path))
+        config = baseline()
+        first = compile_program(SOURCE, config, mode="sts", cache=cache)
+        assert cache.misses == 1 and cache.hits == 0
+        second = compile_program(SOURCE, config, mode="sts", cache=cache)
+        assert cache.hits == 1
+        assert second is not first          # unpickled copy
+        a = run_program(first.program, config)
+        b = run_program(second.program, config)
+        assert a.cycles == b.cycles
+        assert a.read_symbol("out") == b.read_symbol("out") == \
+            [0, 2, 4, 6]
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        cache = CompileCache(str(tmp_path))
+        config = baseline()
+        compile_program(SOURCE, config, mode="sts", cache=cache)
+        key = compile_key(SOURCE, "sts", config, DEFAULT_OPTIONS)
+        path = cache._path(key)
+        with open(path, "wb") as handle:
+            handle.write(b"not a pickle")
+        assert cache.get(key) is None
+        assert not os.path.exists(path)
+        # The driver recompiles and repopulates.
+        compiled = compile_program(SOURCE, config, mode="sts",
+                                   cache=cache)
+        assert compiled.program is not None
+        assert os.path.exists(path)
+
+    def test_missing_directory_is_tolerated(self, tmp_path):
+        cache = CompileCache(str(tmp_path / "never-created"))
+        assert cache.get("0" * 64) is None
+        assert cache.clear() == 0
+
+    def test_unpicklable_payload_is_silent(self, tmp_path):
+        cache = CompileCache(str(tmp_path))
+        cache.put("0" * 64, lambda: None)   # lambdas don't pickle
+        assert cache.get("0" * 64) is None
+
+    def test_clear(self, tmp_path):
+        cache = CompileCache(str(tmp_path))
+        compile_program(SOURCE, baseline(), mode="sts", cache=cache)
+        assert cache.clear() == 1
+        assert cache.clear() == 0
+
+    def test_cached_program_pickles_standalone(self, tmp_path):
+        # OpcodeSpec carries lambdas; __reduce__ interns it by name so
+        # compiled programs survive pickling (cache and process pool).
+        compiled = compile_program(SOURCE, baseline(), mode="sts")
+        clone = pickle.loads(pickle.dumps(compiled))
+        config = baseline()
+        assert run_program(clone.program, config).read_symbol("out") == \
+            run_program(compiled.program, config).read_symbol("out")
+
+
+class TestEnvironmentControls:
+    def test_cache_dir_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert default_cache_dir() == str(tmp_path / "compile")
+
+    def test_no_cache_disables_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        assert cache_disabled_by_env()
+        assert default_cache() is None
+
+    def test_default_cache_enabled_otherwise(self, monkeypatch,
+                                             tmp_path):
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cache = default_cache()
+        assert cache is not None
+        assert cache.root == str(tmp_path / "compile")

@@ -8,8 +8,9 @@ from repro.experiments import paper, table2
 from repro.experiments.cli import main as experiments_main
 from repro.experiments.report import (format_bar_chart, format_grid,
                                       format_table)
-from repro.experiments.runner import Harness
+from repro.experiments.runner import Harness, RunSpec
 from repro.machine import baseline
+from repro.sim.faults import FaultEvent, FaultPlan
 
 
 class TestReportFormatting:
@@ -68,6 +69,64 @@ class TestHarnessCaching:
     def test_validation_runs_by_default(self):
         result = Harness().run("model", "seq", baseline())
         assert result.verified
+
+    def test_fault_plan_participates_in_run_key(self):
+        # Regression: the run cache used to key on (benchmark, mode,
+        # schedule signature) only, so a faulted config silently
+        # returned the clean run's result.
+        harness = Harness()
+        clean_config = baseline()
+        faulted_config = clean_config.with_faults(FaultPlan([
+            FaultEvent("unit_offline", start=50, duration=1000,
+                       unit="c0.iu0")]))
+        clean = harness.run("matrix", "coupled", clean_config)
+        faulted = harness.run("matrix", "coupled", faulted_config)
+        assert clean is not faulted
+        assert faulted.stats.fault_reroutes > 0
+        assert clean.stats.fault_reroutes == 0
+        # Cache still hits for a repeat of either.
+        assert harness.run("matrix", "coupled", clean_config) is clean
+        assert harness.run("matrix", "coupled", faulted_config) \
+            is faulted
+
+    def test_harness_seed_participates_in_run_key(self):
+        a = Harness(seed=1).run("matrix", "seq")
+        b = Harness(seed=2).run("matrix", "seq")
+        assert a.cycles > 0 and b.cycles > 0    # distinct inputs both run
+
+    def test_wall_clock_recorded(self):
+        result = Harness().run("matrix", "seq")
+        assert result.wall_seconds > 0.0
+        assert result.cycles_per_second > 0.0
+
+
+class TestRunMany:
+    def test_serial_batch_matches_individual_runs(self):
+        harness = Harness()
+        specs = [RunSpec("matrix", "seq"), RunSpec("matrix", "coupled")]
+        batch = harness.run_many(specs)
+        assert batch[0] is harness.run("matrix", "seq")
+        assert batch[1] is harness.run("matrix", "coupled")
+
+    def test_tuple_specs_accepted(self):
+        harness = Harness()
+        batch = harness.run_many([("matrix", "seq")])
+        assert batch[0].benchmark == "matrix"
+
+    def test_duplicate_specs_share_one_run(self):
+        harness = Harness()
+        batch = harness.run_many([("matrix", "seq"), ("matrix", "seq")])
+        assert batch[0] is batch[1]
+
+    def test_parallel_results_merge_into_caches(self):
+        harness = Harness()
+        specs = [RunSpec("matrix", "seq"), RunSpec("matrix", "coupled")]
+        batch = harness.run_many(specs, workers=2)
+        assert [r.cycles for r in batch] == \
+            [r.cycles for r in Harness().run_many(specs)]
+        # Worker results landed in the parent caches: a repeat is a hit.
+        assert harness.run("matrix", "seq") is batch[0]
+        assert harness.run("matrix", "coupled") is batch[1]
 
 
 class TestTable2Module:

@@ -1,5 +1,7 @@
 """SimResult helpers and statistics plumbing."""
 
+import json
+
 from repro import baseline, compile_program, run_program
 from repro.isa.operations import UnitClass
 
@@ -54,14 +56,24 @@ class TestStats:
     def test_utilization_table_covers_all_kinds(self):
         result = run()
         table = result.stats.utilization_table()
-        assert set(table) == set(UnitClass)
+        # Plain string keys (enum values), so the table serializes.
+        assert set(table) == {kind.value for kind in UnitClass}
         assert all(0.0 <= v <= 4.0 for v in table.values())
 
     def test_summary_keys(self):
         summary = run().stats.summary()
         for key in ("cycles", "operations", "fpu_util", "threads",
-                    "memory_accesses", "opcache_misses"):
+                    "memory_accesses", "opcache_misses",
+                    "memory_parked", "memory_queue_waits"):
             assert key in summary
+
+    def test_summary_is_json_serializable(self):
+        # Regression: enum keys and missing counters used to make the
+        # summary unserializable.
+        stats = run().stats
+        round_tripped = json.loads(json.dumps(stats.summary()))
+        assert round_tripped == stats.summary()
+        json.dumps(stats.utilization_table())
 
     def test_str_renders(self):
         text = str(run().stats)
