@@ -12,8 +12,16 @@ the simulator is getting faster.
     python -m repro bench --quick          # CI smoke subset
     python -m repro bench --workers 4      # process-pool fan-out
     python -m repro bench --no-fast-forward  # disable skip-ahead
+    python -m repro bench --engine scan    # force the scan kernel
+    python -m repro bench --compare BENCH_20260806.json   # regression gate
 
-Output schema (version 1)::
+``--compare`` checks the fresh run against a recorded trajectory
+point: any simulated-cycle drift on a shared cell is an error (the
+simulator's architectural behavior changed), and an aggregate
+throughput drop beyond ``--regression-threshold`` (default 20%) fails
+the run.  The exit status is non-zero on either, so CI can gate on it.
+
+Output schema (version 1; later additions are additive)::
 
     {
       "schema": 1,
@@ -22,11 +30,14 @@ Output schema (version 1)::
       "workers": N,
       "seed": N,
       "fast_forward": bool,
+      "engine": "event" | "scan",
       "total_wall_s": float,        # whole-suite wall clock
+      "aggregate_cycles_per_sec": float,   # sum(cycles)/sum(wall_s)
       "results": [
         {"benchmark": ..., "mode": ..., "cycles": int,
          "operations": int, "wall_s": float, "compile_s": float,
-         "cycles_per_sec": float, "stats": {<Stats.summary()>}},
+         "cache_hit": bool, "cycles_per_sec": float,
+         "stats": {<Stats.summary()>}},
         ...
       ]
     }
@@ -40,6 +51,8 @@ import time
 
 from .experiments.paper import MODE_ORDER
 from .experiments.runner import Harness, RunSpec
+from .machine import baseline
+from .machine.config import ENGINES
 from .programs import get_benchmark
 from .programs.suite import BENCHMARK_ORDER
 
@@ -50,14 +63,14 @@ QUICK_BENCHMARKS = ("matrix", "fft", "model")
 SCHEMA_VERSION = 1
 
 
-def suite_specs(quick=False):
+def suite_specs(quick=False, config=None):
     """The paper suite as RunSpecs: benchmark x supported mode."""
     benchmarks = QUICK_BENCHMARKS if quick else BENCHMARK_ORDER
     specs = []
     for benchmark in benchmarks:
         modes = [m for m in MODE_ORDER
                  if m in get_benchmark(benchmark).modes]
-        specs.extend(RunSpec(benchmark, mode) for mode in modes)
+        specs.extend(RunSpec(benchmark, mode, config) for mode in modes)
     return specs
 
 
@@ -73,10 +86,55 @@ def run_suite(harness, specs, workers=None):
             "operations": result.stats.total_operations,
             "wall_s": round(result.wall_seconds, 6),
             "compile_s": round(result.compile_seconds, 6),
+            "cache_hit": result.cache_hit,
             "cycles_per_sec": round(result.cycles_per_second, 1),
             "stats": result.stats.summary(),
         })
     return records
+
+
+def aggregate_cycles_per_sec(records):
+    """Whole-suite throughput: total simulated cycles over total
+    simulation wall clock (compile time excluded)."""
+    cycles = sum(r["cycles"] for r in records)
+    wall = sum(r["wall_s"] for r in records)
+    return cycles / wall if wall > 0 else 0.0
+
+
+def compare_reports(report, reference, threshold=0.2):
+    """Regression-gate ``report`` against a recorded ``reference``.
+
+    Returns a list of problem strings (empty = pass).  Two checks, on
+    the cells the two reports share:
+
+    * *cycle drift* — simulated cycle counts must match exactly; both
+      kernels are required to be bit-identical, so any drift means the
+      simulator's architectural behavior changed.
+    * *throughput* — the aggregate cycles/sec over shared cells must
+      not fall more than ``threshold`` below the reference's.
+    """
+    problems = []
+    current = {(r["benchmark"], r["mode"]): r for r in report["results"]}
+    recorded = {(r["benchmark"], r["mode"]): r
+                for r in reference["results"]}
+    shared = [key for key in recorded if key in current]
+    if not shared:
+        return ["no shared (benchmark, mode) cells to compare"]
+    for key in shared:
+        new, old = current[key], recorded[key]
+        if new["cycles"] != old["cycles"]:
+            problems.append(
+                "%s/%s: simulated cycles drifted from %d to %d"
+                % (key[0], key[1], old["cycles"], new["cycles"]))
+    agg_new = aggregate_cycles_per_sec([current[k] for k in shared])
+    agg_old = aggregate_cycles_per_sec([recorded[k] for k in shared])
+    if agg_old > 0 and agg_new < agg_old * (1.0 - threshold):
+        problems.append(
+            "throughput regression: %.0f cycles/sec vs %.0f recorded "
+            "(%.0f%% drop > %.0f%% threshold)"
+            % (agg_new, agg_old, 100.0 * (1.0 - agg_new / agg_old),
+               100.0 * threshold))
+    return problems
 
 
 def bench_filename(date=None):
@@ -86,24 +144,25 @@ def bench_filename(date=None):
 
 def render(report):
     """A human-readable digest of one bench report."""
-    lines = ["bench %s: suite=%s workers=%s fast_forward=%s"
+    lines = ["bench %s: suite=%s workers=%s fast_forward=%s engine=%s"
              % (report["date"], report["suite"], report["workers"],
-                report["fast_forward"])]
-    lines.append("%-10s %-8s %10s %9s %9s %12s"
+                report["fast_forward"], report.get("engine", "scan"))]
+    lines.append("%-10s %-8s %10s %9s %9s %5s %12s"
                  % ("benchmark", "mode", "cycles", "wall_s",
-                    "compile_s", "cycles/sec"))
+                    "compile_s", "cache", "cycles/sec"))
     for record in report["results"]:
-        lines.append("%-10s %-8s %10d %9.3f %9.3f %12.0f"
+        lines.append("%-10s %-8s %10d %9.3f %9.3f %5s %12.0f"
                      % (record["benchmark"], record["mode"],
                         record["cycles"], record["wall_s"],
-                        record["compile_s"], record["cycles_per_sec"]))
+                        record["compile_s"],
+                        "hit" if record.get("cache_hit") else "miss",
+                        record["cycles_per_sec"]))
     total_cycles = sum(r["cycles"] for r in report["results"])
     lines.append("total: %d cells, %d simulated cycles, %.2fs wall "
-                 "(%.0f cycles/sec overall)"
+                 "(%.0f cycles/sec aggregate)"
                  % (len(report["results"]), total_cycles,
                     report["total_wall_s"],
-                    total_cycles / report["total_wall_s"]
-                    if report["total_wall_s"] > 0 else 0.0))
+                    report.get("aggregate_cycles_per_sec", 0.0)))
     return "\n".join(lines)
 
 
@@ -125,16 +184,35 @@ def main(argv=None, out=None):
                         help="simulate every cycle (disable skip-ahead)")
     parser.add_argument("--no-compile-cache", action="store_true",
                         help="disable the on-disk compile cache")
+    parser.add_argument("--engine", choices=ENGINES, default=None,
+                        help="simulator kernel (default: the machine "
+                             "default, %s)" % ENGINES[0])
+    parser.add_argument("--compare", metavar="BENCH_FILE",
+                        help="regression-gate against a recorded "
+                             "BENCH_<date>.json; exits non-zero on "
+                             "cycle drift or throughput regression")
+    parser.add_argument("--regression-threshold", type=float, default=0.2,
+                        metavar="FRAC",
+                        help="allowed aggregate throughput drop for "
+                             "--compare (default 0.2 = 20%%)")
     parser.add_argument("-o", "--output", metavar="PATH",
                         help="output path (default BENCH_<date>.json in "
                              "the current directory)")
     args = parser.parse_args(argv)
 
+    reference = None
+    if args.compare:
+        with open(args.compare) as handle:
+            reference = json.load(handle)
+
+    config = baseline()
+    if args.engine is not None:
+        config = config.with_engine(args.engine)
     harness = Harness(seed=args.seed, check=not args.no_check,
                       fast_forward=not args.no_fast_forward,
                       compile_cache=False if args.no_compile_cache
                       else "auto")
-    specs = suite_specs(quick=args.quick)
+    specs = suite_specs(quick=args.quick, config=config)
     started = time.perf_counter()
     records = run_suite(harness, specs, workers=args.workers)
     total_wall = time.perf_counter() - started
@@ -146,7 +224,10 @@ def main(argv=None, out=None):
         "workers": args.workers or 1,
         "seed": args.seed,
         "fast_forward": not args.no_fast_forward,
+        "engine": config.engine,
         "total_wall_s": round(total_wall, 6),
+        "aggregate_cycles_per_sec":
+            round(aggregate_cycles_per_sec(records), 1),
         "results": records,
     }
     path = args.output or bench_filename(report["date"])
@@ -155,6 +236,17 @@ def main(argv=None, out=None):
         handle.write("\n")
     out.write(render(report) + "\n")
     out.write("wrote %s\n" % os.path.abspath(path))
+    if reference is not None:
+        problems = compare_reports(report, reference,
+                                   threshold=args.regression_threshold)
+        if problems:
+            out.write("comparison against %s FAILED:\n" % args.compare)
+            for problem in problems:
+                out.write("  " + problem + "\n")
+            return 1
+        out.write("comparison against %s passed (no cycle drift, "
+                  "throughput within %.0f%%)\n"
+                  % (args.compare, 100 * args.regression_threshold))
     return 0
 
 

@@ -5,6 +5,8 @@
     python -m repro compile prog.sexp --mode coupled -o prog.s
     python -m repro run prog.sexp --mode coupled --set A=1,2,3,4
     python -m repro run prog.s --asm --trace --window 60
+    python -m repro run prog.sexp --profile 20   # cProfile hotspots
+    python -m repro run prog.sexp --engine scan  # force the scan kernel
     python -m repro modes            # list machine modes
     python -m repro describe         # show the baseline machine
     python -m repro bench --quick    # benchmark the simulator itself
@@ -19,8 +21,9 @@ from . import compile_program, run_program
 from .compiler.schedule.modes import MODES
 from .isa import asmtext
 from .machine import MEMORY_MODELS, baseline
+from .machine.config import ENGINES
 from .machine.interconnect import CommScheme
-from .sim import FaultPlan, Node
+from .sim import FaultPlan, make_node
 from .sim.trace import TraceRecorder, render_timeline
 
 
@@ -34,6 +37,8 @@ def _build_config(args):
         config = config.with_seed(args.seed)
     if getattr(args, "faults", None):
         config = config.with_faults(FaultPlan.from_file(args.faults))
+    if getattr(args, "engine", None):
+        config = config.with_engine(args.engine)
     return config
 
 
@@ -88,10 +93,17 @@ def cmd_run(args, out):
     program, __ = _load_program(args, config)
     overrides = _parse_overrides(args.set)
     recorder = TraceRecorder() if args.trace else None
-    node = Node(config, observer=recorder)
+    node = make_node(config, observer=recorder)
+    profiler = None
+    if args.profile is not None:
+        import cProfile
+        profiler = cProfile.Profile()
+        profiler.enable()
     result = node.run(program, overrides=overrides,
                       max_cycles=args.max_cycles,
                       watchdog_cycles=args.watchdog_cycles)
+    if profiler is not None:
+        profiler.disable()
     out.write("cycles: %d\n" % result.cycles)
     out.write("stats:  %s\n" % result.stats)
     for symbol in (args.print or sorted(program.data.symbols)):
@@ -102,7 +114,20 @@ def cmd_run(args, out):
         out.write("\n")
         out.write(render_timeline(recorder, config, last=args.window))
         out.write("\n")
+    if profiler is not None:
+        out.write("\n")
+        out.write(_profile_report(profiler, args.profile))
     return 0
+
+
+def _profile_report(profiler, top):
+    """The top-N cumulative-time rows of a cProfile run, as text."""
+    import io
+    import pstats
+    buf = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buf)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(top)
+    return buf.getvalue()
 
 
 def cmd_modes(args, out):
@@ -125,6 +150,8 @@ def _add_program_options(parser):
                         choices=[s.value for s in CommScheme])
     parser.add_argument("--memory", choices=sorted(MEMORY_MODELS))
     parser.add_argument("--seed", type=int)
+    parser.add_argument("--engine", choices=ENGINES,
+                        help="simulator kernel (default %s)" % ENGINES[0])
 
 
 def main(argv=None, out=None):
@@ -169,6 +196,11 @@ def main(argv=None, out=None):
                             help="raise WatchdogError after K cycles "
                                  "without forward progress "
                                  "(default 100000)")
+    run_parser.add_argument("--profile", type=int, nargs="?", const=15,
+                            default=None, metavar="N",
+                            help="profile the simulation and print the "
+                                 "top N functions by cumulative time "
+                                 "(default 15)")
     run_parser.set_defaults(func=cmd_run)
 
     # Listed for --help only; real dispatch happens above.

@@ -51,6 +51,7 @@ class RunResult:
     verified: bool
     wall_seconds: float = 0.0       # simulation wall clock
     compile_seconds: float = 0.0    # compilation wall clock (0 on hit)
+    cache_hit: bool = False         # compile served from a cache?
 
     @property
     def fpu_util(self):
@@ -103,13 +104,25 @@ class Harness:
         return self._inputs[benchmark]
 
     def compile(self, benchmark, mode, config):
+        return self._compile_tracked(benchmark, mode, config)[0]
+
+    def _compile_tracked(self, benchmark, mode, config):
+        """Compile (or fetch) a cell's program; returns
+        ``(compiled, cache_hit)`` where ``cache_hit`` is True when the
+        program came from the in-memory or on-disk compile cache
+        rather than a fresh compilation."""
         key = (benchmark, mode, config.schedule_signature())
-        if key not in self._compiled:
-            bench = get_benchmark(benchmark)
-            self._compiled[key] = compile_program(bench.source(mode),
-                                                  config, mode=mode,
-                                                  cache=self.disk_cache)
-        return self._compiled[key]
+        if key in self._compiled:
+            return self._compiled[key], True
+        bench = get_benchmark(benchmark)
+        disk_hits = self.disk_cache.hits \
+            if self.disk_cache is not None else 0
+        compiled = compile_program(bench.source(mode), config, mode=mode,
+                                   cache=self.disk_cache)
+        hit = (self.disk_cache is not None
+               and self.disk_cache.hits > disk_hits)
+        self._compiled[key] = compiled
+        return compiled, hit
 
     def _run_key(self, benchmark, mode, config, tag):
         """The run-cache key.  Everything a simulation's outcome
@@ -128,7 +141,8 @@ class Harness:
             return self._runs[key]
         bench = get_benchmark(benchmark)
         started = time.perf_counter()
-        compiled = self.compile(benchmark, mode, config)
+        compiled, cache_hit = self._compile_tracked(benchmark, mode,
+                                                    config)
         compile_seconds = time.perf_counter() - started
         inputs = self.inputs_for(benchmark)
         started = time.perf_counter()
@@ -147,7 +161,8 @@ class Harness:
                            sim.stats.utilization_table(), sim.stats,
                            compiled, sim, verified,
                            wall_seconds=wall_seconds,
-                           compile_seconds=compile_seconds)
+                           compile_seconds=compile_seconds,
+                           cache_hit=cache_hit)
         self._runs[key] = result
         return result
 

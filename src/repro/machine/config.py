@@ -19,6 +19,11 @@ from .units import FunctionUnitSpec, bru, fpu, iu, mem
 #: Arbitration policies for unit contention between threads.
 ARBITRATION_POLICIES = ("priority", "round-robin")
 
+#: Simulator kernels.  Both produce bit-identical results; "event" is
+#: the fast predecoded/wake-queue kernel, "scan" the reference
+#: cycle-by-cycle rescan loop kept for differential testing.
+ENGINES = ("event", "scan")
+
 
 @dataclass(frozen=True)
 class UnitSlot:
@@ -43,7 +48,7 @@ class MachineConfig:
     def __init__(self, clusters, interconnect=None, memory=None,
                  arbitration="priority", memory_size=65536, seed=12345,
                  name="custom", op_cache=None, max_active_threads=None,
-                 fault_plan=None):
+                 fault_plan=None, engine="event"):
         self.clusters = tuple(clusters)
         if isinstance(interconnect, (CommScheme, str)):
             interconnect = InterconnectSpec.from_scheme(interconnect)
@@ -61,6 +66,10 @@ class MachineConfig:
             raise ConfigError("max_active_threads must be >= 1")
         self.max_active_threads = max_active_threads
         self.fault_plan = fault_plan      # None = fault-free (the paper)
+        if engine not in ENGINES:
+            raise ConfigError("unknown simulator engine %r (have: %s)"
+                              % (engine, ", ".join(ENGINES)))
+        self.engine = engine
         self._build_tables()
         self._validate()
         if fault_plan is not None:
@@ -130,7 +139,7 @@ class MachineConfig:
                              name="%s/%s" % (self.name, CommScheme(scheme)),
                              op_cache=self.op_cache,
                              max_active_threads=self.max_active_threads,
-                             fault_plan=self.fault_plan)
+                             fault_plan=self.fault_plan, engine=self.engine)
 
     def with_memory(self, memory_spec):
         return MachineConfig(self.clusters, self.interconnect, memory_spec,
@@ -138,21 +147,21 @@ class MachineConfig:
                              name="%s/%s" % (self.name, memory_spec.name),
                              op_cache=self.op_cache,
                              max_active_threads=self.max_active_threads,
-                             fault_plan=self.fault_plan)
+                             fault_plan=self.fault_plan, engine=self.engine)
 
     def with_arbitration(self, policy):
         return MachineConfig(self.clusters, self.interconnect, self.memory,
                              policy, self.memory_size, self.seed,
                              name=self.name, op_cache=self.op_cache,
                              max_active_threads=self.max_active_threads,
-                             fault_plan=self.fault_plan)
+                             fault_plan=self.fault_plan, engine=self.engine)
 
     def with_seed(self, seed):
         return MachineConfig(self.clusters, self.interconnect, self.memory,
                              self.arbitration, self.memory_size, seed,
                              name=self.name, op_cache=self.op_cache,
                              max_active_threads=self.max_active_threads,
-                             fault_plan=self.fault_plan)
+                             fault_plan=self.fault_plan, engine=self.engine)
 
     def with_op_cache(self, op_cache_spec):
         """Replace the paper's perfect-instruction-cache assumption
@@ -161,7 +170,7 @@ class MachineConfig:
                              self.arbitration, self.memory_size, self.seed,
                              name=self.name, op_cache=op_cache_spec,
                              max_active_threads=self.max_active_threads,
-                             fault_plan=self.fault_plan)
+                             fault_plan=self.fault_plan, engine=self.engine)
 
     def with_max_active_threads(self, limit):
         """Bound the hardware active set (paper Section 2: "hardware is
@@ -172,7 +181,7 @@ class MachineConfig:
                              self.arbitration, self.memory_size, self.seed,
                              name=self.name, op_cache=self.op_cache,
                              max_active_threads=limit,
-                             fault_plan=self.fault_plan)
+                             fault_plan=self.fault_plan, engine=self.engine)
 
     def with_faults(self, fault_plan):
         """Attach a fault-injection plan (``repro.sim.faults.FaultPlan``)
@@ -184,7 +193,17 @@ class MachineConfig:
                              self.arbitration, self.memory_size, self.seed,
                              name=self.name, op_cache=self.op_cache,
                              max_active_threads=self.max_active_threads,
-                             fault_plan=fault_plan)
+                             fault_plan=fault_plan, engine=self.engine)
+
+    def with_engine(self, engine):
+        """Select the simulator kernel (``"event"`` or ``"scan"``).
+        Both kernels are bit-identical — the toggle exists for
+        differential testing and perf comparison."""
+        return MachineConfig(self.clusters, self.interconnect, self.memory,
+                             self.arbitration, self.memory_size, self.seed,
+                             name=self.name, op_cache=self.op_cache,
+                             max_active_threads=self.max_active_threads,
+                             fault_plan=self.fault_plan, engine=engine)
 
     def schedule_signature(self):
         """Hashable summary of everything the *compiler* depends on;
@@ -200,7 +219,9 @@ class MachineConfig:
         harness uses, so every dynamic knob — interconnect, memory
         model, arbitration, seed, operation cache, active-set limit,
         and the fault plan — must participate; ``name`` and other
-        cosmetics must not."""
+        cosmetics must not.  ``engine`` is deliberately excluded: the
+        event and scan kernels are bit-identical, so results cache
+        across the toggle."""
         fault_sig = None
         if self.fault_plan is not None:
             fault_sig = (self.fault_plan.reroute, self.fault_plan.events)
@@ -211,9 +232,10 @@ class MachineConfig:
 
     def describe(self):
         """Human-readable summary (one line per cluster)."""
-        lines = ["machine %s: %d clusters, interconnect=%s, memory=%s"
+        lines = ["machine %s: %d clusters, interconnect=%s, memory=%s, "
+                 "engine=%s"
                  % (self.name, self.n_clusters, self.interconnect.scheme,
-                    self.memory.name)]
+                    self.memory.name, self.engine)]
         for index, cluster in enumerate(self.clusters):
             kinds = ", ".join("%s(lat=%d)" % (u.kind, u.latency)
                               for u in cluster.units)

@@ -1,21 +1,25 @@
 """Functional cycle simulator for processor-coupled nodes."""
 
 from .arbitration import PriorityArbiter, RoundRobinArbiter, make_arbiter
+from .event import EventNode
 from .faults import FaultEvent, FaultInjector, FaultPlan
 from .function_unit import FunctionUnitState, WritebackEntry
 from .interconnect import WritebackNetwork
 from .loader import load_memory, validate_program
 from .memory import MemRequest, MemorySystem
-from .node import Node, SimResult, run_program
+from .node import (Node, SimResult, make_node, node_class_for_engine,
+                   run_program)
+from .predecode import DecodedThread, SlotPlan, WordPlan, decode_program
 from .registers import RegisterFrame
 from .stats import Stats
 from .thread import ThreadContext
 
 __all__ = [
     "PriorityArbiter", "RoundRobinArbiter", "make_arbiter",
-    "FaultEvent", "FaultInjector", "FaultPlan",
+    "EventNode", "FaultEvent", "FaultInjector", "FaultPlan",
     "FunctionUnitState", "WritebackEntry", "WritebackNetwork",
     "load_memory", "validate_program", "MemRequest", "MemorySystem",
-    "Node", "SimResult", "run_program", "RegisterFrame", "Stats",
-    "ThreadContext",
+    "Node", "SimResult", "make_node", "node_class_for_engine",
+    "run_program", "DecodedThread", "SlotPlan", "WordPlan",
+    "decode_program", "RegisterFrame", "Stats", "ThreadContext",
 ]

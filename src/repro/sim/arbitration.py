@@ -17,6 +17,8 @@ account for cycles it never simulates, keeping a fast-forwarded run
 bit-identical to a cycle-by-cycle one.
 """
 
+import bisect
+
 from ..errors import ConfigError
 
 
@@ -62,6 +64,20 @@ class RoundRobinArbiter:
                 break
         self._next = ordered[start].tid + 1
         return ordered[start:] + ordered[:start]
+
+    def rotate_sorted(self, ordered, tids):
+        """Event-kernel fast path: rotate an already tid-sorted thread
+        list exactly as :meth:`order` would (``tids`` is the parallel
+        sorted tid list), updating the resume point."""
+        if not ordered:
+            return ordered
+        start = bisect.bisect_left(tids, self._next)
+        if start >= len(tids):
+            start = 0
+        self._next = tids[start] + 1
+        if start:
+            return ordered[start:] + ordered[:start]
+        return ordered
 
     def advance(self, cycles, threads=()):
         """Account for ``cycles`` skipped quiet cycles, during which the

@@ -1,0 +1,669 @@
+"""The event-driven simulator kernel.
+
+:class:`EventNode` runs the same five-phase cycle model as the scan
+kernel (:class:`~repro.sim.node.Node`) but organizes the work around
+*events* instead of rescans, with three structural changes:
+
+* **Predecode** — at load time every instruction word is compiled into
+  :class:`~repro.sim.predecode.SlotPlan` objects (resolved opcode spec,
+  flat operand offsets, prebuilt control payloads, home-unit index), so
+  the per-cycle path does no dict lookups or spec resolution.
+* **A single completion heap** — issued operations go into one global
+  heap keyed ``(ready_cycle, unit_index, seq)``, which reproduces the
+  scan kernel's drain order (units in table order, FIFO within a unit)
+  while making "anything due this cycle?" a single peek.  The memory
+  system is only ticked on cycles it has an event due.
+* **Thread parking / wake queues** — a thread whose pending operations
+  are all waiting on presence bits is *parked* and not rescanned;
+  registers are thread-private, so only the thread's own writebacks can
+  set its presence bits, and the writeback path unparks it.  Threads
+  blocked on an operation-cache fill park with a timed wake.  Quiet
+  stretches where every thread is parked are then jumped over wholesale
+  — the generalization of the scan kernel's ``_skip_target`` fast path,
+  with the same clamps so watchdog/pause/max-cycle checks fire on
+  exactly the same cycle.
+
+Issue-side statistics are batched into flat counters and folded into
+:class:`~repro.sim.stats.Stats` when the loop exits (including via
+pause or error), so the hot loop never touches a ``Counter``.
+
+Every architecturally visible quantity — cycle counts, statistics,
+memory contents and presence bits, RNG draw order, fault interactions —
+is bit-identical to the scan kernel; ``tests/property`` enforces this.
+"""
+
+import copy
+from heapq import heappop, heappush
+
+from ..errors import SimulationError
+from .function_unit import WritebackEntry
+from .memory import MemRequest
+from .node import Node, SimResult
+from .predecode import decode_program
+from .thread import DONE
+
+
+class EventNode(Node):
+    """Event-driven kernel; bit-identical to the scan kernel."""
+
+    engine = "event"
+
+    def __init__(self, config, observer=None, fast_forward=True):
+        super().__init__(config, observer, fast_forward)
+        self._build_unit_table()
+        self._decoded = None
+        # Completion heap: (ready, unit_index, seq, thread, plan, payload).
+        self._pipe = []
+        self._pipe_seq = 0
+        # Timed thread wakes (operation-cache fills): (cycle, tid, thread).
+        self._wake_heap = []
+        self._wb_count = 0           # writeback entries across all units
+        self._wb_pending = set()     # unit indexes with queued writebacks
+        # With an unrestricted network every entry drains the cycle it
+        # is visited and its dest list is never trimmed, so entries can
+        # share the operation's own dest sequence instead of copying.
+        self._wb_share = self.network.unrestricted
+        # Stronger still: with no fault plan attached, a result that
+        # completes in phase 1/2 of cycle C is *always* granted in
+        # phase 3 of the same cycle (nothing reads presence bits in
+        # between), so completions can commit registers directly and
+        # skip the writeback buffers entirely.  (Two same-cycle writes
+        # to one register would land in unit-table order under the scan
+        # kernel and in phase order here, but that WAW race is a
+        # scheduling bug the compiler's presence-bit discipline never
+        # emits.)
+        self._direct_wb = (self.network.unrestricted
+                           and self.injector is None)
+        self._use_opcache = config.op_cache is not None
+        self._adv_any = False        # some thread may advance this cycle
+        # Arbiter scan order, rebuilt only when membership changes.
+        self._order = []
+        self._order_tids = None
+        self._order_dirty = True
+        self._reset_issue_counters()
+
+    def _build_unit_table(self):
+        self._units_list = []
+        self._unit_index = {}
+        for index, uid in enumerate(self.unit_order):
+            unit = self.units[uid]
+            unit.index = index
+            self._unit_index[uid] = index
+            self._units_list.append(unit)
+
+    def _reset_issue_counters(self):
+        self._issued_counts = [0] * len(self._units_list)
+        self._issued_tids = {}
+        self._arb_losses = 0
+        self._wb_grants_batch = 0
+
+    # -- program load ----------------------------------------------------
+
+    def _prepare(self, program):
+        self._decoded = decode_program(program, self._unit_index)
+
+    def spawn(self, thread_program, bindings=(), priority=None):
+        thread = super().spawn(thread_program, bindings, priority)
+        if thread is not None:
+            if self._decoded is not None:
+                thread.decoded = self._decoded[thread_program.name]
+            self._adv_any = True         # fresh thread fetches its word
+            self._order_dirty = True
+        return thread
+
+    # -- phases ----------------------------------------------------------
+
+    def _complete_due(self, cycle):
+        """Phase 1: drain due completions from the global heap."""
+        pipe = self._pipe
+        memory = self.memory
+        units = self._units_list
+        wb_pending = self._wb_pending
+        share = self._wb_share
+        direct = self._direct_wb
+        count = 0
+        wrote = 0
+        while pipe and pipe[0][0] <= cycle:
+            __, index, __, thread, plan, payload = heappop(pipe)
+            count += 1
+            if plan.is_memory:
+                memory.submit(payload, cycle)
+            elif plan.is_bru:
+                self._resolve_plan_control(thread, payload)
+            elif direct:
+                pairs = plan.dest_pairs
+                if pairs:
+                    frames = thread.frames
+                    for cluster, reg in pairs:
+                        frame = frames.get(cluster)
+                        if frame is None:
+                            frame = thread.frame(cluster)
+                        frame._values[reg] = payload
+                        frame._invalid.discard(reg)
+                    wrote += len(pairs)
+                    thread.parked = False
+            else:
+                op = plan.op
+                units[index].writebacks.append(WritebackEntry(
+                    thread, op, payload,
+                    op.dests if share else list(op.dests)))
+                self._wb_count += 1
+                wb_pending.add(index)
+        if wrote:
+            self._wb_grants_batch += wrote
+        return count
+
+    def _resolve_plan_control(self, thread, payload):
+        kind = payload[0]
+        if kind == "jump":
+            thread.next_ip = payload[1]
+        elif kind == "fork":
+            self.spawn(self._program.thread(payload[1]), payload[2])
+        else:                            # halt
+            thread.halted = True
+            if self.observer is not None:
+                self.observer("halt", cycle=self.cycle, thread=thread)
+        thread.control_inflight = False
+        if not thread.pending_plans:
+            thread.advance_ready = True
+            self._adv_any = True
+
+    def _complete_memory(self):
+        """Phase 2: tick the memory system; loads join writeback."""
+        completed = self.memory.tick(self.cycle)
+        direct = self._direct_wb
+        wrote = 0
+        for request in completed:
+            if request.spec.is_load:
+                if direct:
+                    thread = request.thread
+                    frames = thread.frames
+                    value = request.value
+                    dests = request.op.dests
+                    for dest in dests:
+                        frame = frames.get(dest.cluster)
+                        if frame is None:
+                            frame = thread.frame(dest.cluster)
+                        frame._values[dest.index] = value
+                        frame._invalid.discard(dest.index)
+                    if dests:
+                        wrote += len(dests)
+                        thread.parked = False
+                else:
+                    unit = self.units[request.unit_slot.uid]
+                    op = request.op
+                    unit.writebacks.append(WritebackEntry(
+                        request.thread, op, request.value,
+                        op.dests if self._wb_share else list(op.dests)))
+                    self._wb_count += 1
+                    self._wb_pending.add(unit.index)
+        if wrote:
+            self._wb_grants_batch += wrote
+        return len(completed)
+
+    def _write_back(self):
+        """Phase 3: like the scan kernel's, plus writeback counting and
+        unparking — a register write is the only thing that can make a
+        presence-parked thread issuable (registers are thread-private),
+        so the granting path is the wake hook.  Only units with queued
+        entries are visited, and a fully connected network (every grant
+        trivially succeeds) bypasses per-write arbitration, writing the
+        register directly and batching the grant count."""
+        wrote = 0
+        cycle = self.cycle
+        injector = self.injector
+        network = self.network
+        unrestricted = network.unrestricted
+        if not unrestricted:
+            network.new_cycle()
+        units = self._units_list
+        pending = self._wb_pending
+        for index in sorted(pending):
+            unit = units[index]
+            entries = unit.writebacks
+            if injector is not None \
+                    and injector.writeback_blocked(unit.slot.uid, cycle):
+                self.stats.fault_writeback_stalls += len(entries)
+                continue
+            if unrestricted:
+                for entry in entries:
+                    thread = entry.thread
+                    frames = thread.frames
+                    value = entry.value
+                    for dest in entry.dests:
+                        frame = frames.get(dest.cluster)
+                        if frame is None:
+                            frame = thread.frame(dest.cluster)
+                        reg = dest.index
+                        frame._values[reg] = value
+                        frame._invalid.discard(reg)
+                    wrote += len(entry.dests)
+                    thread.parked = False
+                self._wb_count -= len(entries)
+                unit.writebacks = []
+                pending.discard(index)
+                continue
+            cluster = unit.slot.cluster
+            remaining = []
+            for entry in entries:
+                kept = []
+                thread = entry.thread
+                for dest in entry.dests:
+                    if network.try_grant(cluster, dest.cluster):
+                        thread.frame(dest.cluster).write(dest.index,
+                                                         entry.value)
+                        wrote += 1
+                        thread.parked = False
+                    else:
+                        kept.append(dest)
+                entry.dests = kept
+                if kept:
+                    remaining.append(entry)
+                else:
+                    self._wb_count -= 1
+            unit.writebacks = remaining
+            if not remaining:
+                pending.discard(index)
+        if unrestricted and wrote:
+            self.stats.writeback_grants += wrote
+        return wrote
+
+    def _advance_threads(self):
+        """Phase 4: advance only threads flagged by issue/control
+        resolution; drain the spawn queue exactly like the scan kernel."""
+        if self._adv_any:
+            self._adv_any = False
+            cycle = self.cycle
+            stats = self.stats
+            still_active = []
+            for thread in self.active:
+                if not thread.advance_ready:
+                    still_active.append(thread)
+                    continue
+                thread.advance_ready = False
+                if self._advance_plan(thread):
+                    still_active.append(thread)
+                else:
+                    thread.finish_cycle = cycle
+                    stats.thread_finish_cycle[thread.tid] = cycle
+                    stats.threads_finished += 1
+                    self.finished.append(thread)
+                    self._order_dirty = True
+            self.active = still_active
+        limit = self.config.max_active_threads
+        while self._spawn_queue and (limit is None
+                                     or len(self.active) < limit):
+            program, bindings, priority = self._spawn_queue.popleft()
+            self.spawn(program, bindings, priority)
+
+    def _advance_plan(self, thread):
+        """Plan-based ThreadContext.advance()."""
+        if thread.halted:
+            thread.state = DONE
+            return False
+        target = thread.next_ip if thread.next_ip is not None \
+            else thread.ip + 1
+        thread.next_ip = None
+        words = thread.decoded.words
+        if target >= len(words):
+            raise SimulationError(
+                "thread %r fell off the end of its code (missing halt)"
+                % thread.name)
+        thread.ip = target
+        thread.pending_plans = list(words[target].plans)
+        return True
+
+    def _issue(self):
+        """Phase 5: the scan kernel's arbitration and issue rules over
+        predecoded plans, skipping parked threads and parking any
+        thread that provably cannot act until a wake condition fires."""
+        if self._order_dirty:
+            self._rebuild_order()
+        active = self.active
+        if not active:
+            return 0
+        order = self._order
+        tids = self._order_tids
+        if tids is not None:             # round-robin rotates every cycle
+            order = self.arbiter.rotate_sorted(order, tids)
+        issued = 0
+        claimed = set()              # claimed unit table indexes
+        self._fault_stalled = False
+        injector = self.injector
+        use_cache = self._use_opcache
+        cycle = self.cycle
+        units = self._units_list
+        counts = self._issued_counts
+        for thread in order:
+            if thread.parked:
+                continue
+            pending = thread.pending_plans
+            if not pending:
+                continue                 # control operation in flight
+            frames = thread.frames
+            # A thread may park only when nothing it can do this cycle
+            # has side effects: no issue, no arbitration loss, and (with
+            # a fault plan) no per-cycle injector consultation at all.
+            can_park = injector is None
+            wake = None
+            # Iterating a one-element list that at most loses that one
+            # element is safe without a copy (the common case).
+            plans = pending if len(pending) == 1 else list(pending)
+            for plan in plans:
+                ready = True
+                for cluster, indices in plan.wait_groups:
+                    frame = frames.get(cluster)
+                    if frame is not None:
+                        invalid = frame._invalid
+                        if invalid:
+                            for index in indices:
+                                if index in invalid:
+                                    ready = False
+                                    break
+                            if not ready:
+                                break
+                if not ready:
+                    continue
+                unit = units[plan.unit_index]
+                if injector is not None \
+                        and injector.unit_offline(plan.uid, cycle):
+                    unit = self._reroute_target(unit, claimed)
+                    if unit is None:
+                        self.stats.fault_issue_stalls += 1
+                        self._fault_stalled = True
+                        continue
+                if use_cache:
+                    cache = unit.opcache
+                    if cache is not None \
+                            and not cache.ready(thread, cycle):
+                        # Operation-cache fill in progress: a timed wake.
+                        if can_park:
+                            fill = cache.fill_ready_cycle(thread)
+                            if fill is None:
+                                can_park = False
+                            elif wake is None or fill < wake:
+                                wake = fill
+                        continue
+                index = unit.index
+                if index in claimed:
+                    self._arb_losses += 1
+                    can_park = False
+                    continue
+                if index != plan.unit_index:
+                    self.stats.fault_reroutes += 1
+                self._issue_plan(unit, thread, plan, cycle)
+                counts[index] += 1
+                claimed.add(index)
+                issued += 1
+                can_park = False
+            if can_park and thread.pending_plans:
+                thread.parked = True
+                if wake is not None:
+                    heappush(self._wake_heap, (wake, thread.tid, thread))
+        return issued
+
+    def _reroute_target(self, unit, claimed):
+        """The scan kernel's reroute, keyed by unit table index (the
+        event kernel's per-cycle claim set holds indexes, not uids)."""
+        if not self.injector.reroute:
+            return None
+        cycle = self.cycle
+        kind = unit.slot.kind
+        for candidate in self._units_list:
+            if candidate.slot.kind is not kind \
+                    or candidate.index in claimed:
+                continue
+            if self.injector.unit_offline(candidate.slot.uid, cycle):
+                continue
+            return candidate
+        return None
+
+    def _issue_plan(self, unit, thread, plan, cycle):
+        frames = thread.frames
+        template = plan.values_template
+        if template is None:
+            values = []
+        else:
+            values = template[:]
+            for pos, cluster, index in plan.src_fields:
+                frame = frames.get(cluster)
+                values[pos] = frame._values.get(index, 0) \
+                    if frame is not None else 0
+        if plan.is_memory:
+            if plan.is_load:
+                addr = int(values[0]) + int(values[1])
+                payload = MemRequest(thread, plan.op, unit.slot, addr,
+                                     spec=plan.spec)
+            else:
+                addr = int(values[1]) + int(values[2])
+                payload = MemRequest(thread, plan.op, unit.slot, addr,
+                                     store_value=values[0], spec=plan.spec)
+        elif plan.is_bru:
+            control = plan.control
+            if control == "fork":
+                bindings = []
+                for child_reg, is_reg, a, b in plan.bindings_plan:
+                    if is_reg:
+                        frame = frames.get(a)
+                        bindings.append((child_reg,
+                                         frame._values.get(b, 0)
+                                         if frame is not None else 0))
+                    else:
+                        bindings.append((child_reg, a))
+                payload = ("fork", plan.fork_name, bindings)
+            elif control == "brt":
+                payload = plan.taken_payload if values[0] \
+                    else plan.untaken_payload
+            elif control == "brf":
+                payload = plan.untaken_payload if values[0] \
+                    else plan.taken_payload
+            else:                        # br / halt
+                payload = plan.taken_payload
+            thread.control_inflight = True
+        else:
+            try:
+                payload = plan.spec.semantics(*values)
+            except ArithmeticError as exc:
+                raise SimulationError(
+                    "thread %s: %s%r raised %s at cycle %d"
+                    % (thread.name, plan.name, tuple(values), exc, cycle))
+        for cluster, index in plan.dest_pairs:
+            frame = frames.get(cluster)
+            if frame is None:
+                frame = thread.frame(cluster)
+            frame._invalid.add(index)
+        pending = thread.pending_plans
+        pending.remove(plan)
+        if not pending and not thread.control_inflight:
+            thread.advance_ready = True
+            self._adv_any = True
+        self._pipe_seq += 1
+        heappush(self._pipe, (cycle + unit.latency, unit.index,
+                              self._pipe_seq, thread, plan, payload))
+        tid = thread.tid
+        tids = self._issued_tids
+        tids[tid] = tids.get(tid, 0) + 1
+        observer = self.observer
+        if observer is not None:
+            observer("issue", cycle=cycle, thread=thread,
+                     unit=unit.slot.uid, op=plan.op)
+
+    def _rebuild_order(self):
+        if self.arbiter.name == "round-robin":
+            order = sorted(self.active, key=_by_tid)
+            self._order_tids = [t.tid for t in order]
+        else:
+            order = sorted(self.active, key=_by_priority)
+            self._order_tids = None
+        self._order = order
+        self._order_dirty = False
+
+    # -- main loop --------------------------------------------------------
+
+    def _loop(self, max_cycles, watchdog_cycles=None, pause_at=None):
+        try:
+            return self._event_loop(max_cycles, watchdog_cycles, pause_at)
+        finally:
+            # Fold the batched issue counters into Stats no matter how
+            # the loop exits (completion, pause, watchdog, deadlock), so
+            # Stats is always coherent for reporting and snapshots.
+            self._flush_issue_counters()
+
+    def _event_loop(self, max_cycles, watchdog_cycles, pause_at):
+        memory = self.memory
+        # The memory system's heaps are mutated strictly in place, so
+        # these bindings stay valid for the life of the loop and make
+        # the per-cycle "anything due?" gates plain list peeks.
+        mem_if = memory._in_flight
+        mem_def = memory._deferred_bits
+        pipe = self._pipe
+        wake_heap = self._wake_heap
+        stats = self.stats
+        while True:
+            cycle = self.cycle
+            while wake_heap and wake_heap[0][0] <= cycle:
+                heappop(wake_heap)[2].parked = False
+            completed = self._complete_due(cycle) \
+                if pipe and pipe[0][0] <= cycle else 0
+            if (mem_if and mem_if[0][0] <= cycle) \
+                    or (mem_def and mem_def[0][0] <= cycle):
+                completed += self._complete_memory()
+            wrote = self._write_back() if self._wb_count else 0
+            if self._adv_any or self._spawn_queue:
+                self._advance_threads()
+            issued = self._issue()
+            cycle += 1
+            self.cycle = cycle
+            stats.cycles = cycle
+            if issued or completed or wrote:
+                self._last_progress = cycle
+            if not self.active and not self._spawn_queue \
+                    and not pipe and self._wb_count == 0 \
+                    and memory.idle():
+                break
+            if cycle >= max_cycles:
+                raise self._watchdog_error(
+                    "exceeded %d cycles (program %s on %s)"
+                    % (max_cycles, self._program.main, self.config.name))
+            quiet = issued == 0 and completed == 0 and wrote == 0
+            in_flight = False
+            if quiet:
+                in_flight = (self._fault_stalled or bool(pipe)
+                             or self._wb_count > 0
+                             or bool(mem_if) or bool(mem_def)
+                             or self._any_fills())
+                if not in_flight:
+                    self._frozen += 1
+                    if self._frozen >= 2:
+                        self._raise_deadlock()
+                else:
+                    self._frozen = 0
+            else:
+                self._frozen = 0
+            if watchdog_cycles is not None \
+                    and cycle - self._last_progress >= watchdog_cycles:
+                raise self._watchdog_error(
+                    "livelock: no operation issued, completed, or wrote "
+                    "back for %d cycles (program %s on %s)"
+                    % (watchdog_cycles, self._program.main,
+                       self.config.name))
+            if pause_at is not None and cycle >= pause_at:
+                return None
+            if self.fast_forward and quiet and in_flight \
+                    and self._wb_count == 0 \
+                    and not self._fault_stalled \
+                    and (self.injector is None
+                         or all(t.parked for t in self.active)):
+                # Every unparked thread was scanned and could not act;
+                # parked threads wait on their own timed or writeback
+                # events.  Jump to the next event, with the scan
+                # kernel's clamps so watchdog/pause/max-cycles fire on
+                # exactly the same cycle.
+                wake = pipe[0][0] if pipe else None
+                event = memory.next_event_cycle()
+                if event is not None and (wake is None or event < wake):
+                    wake = event
+                if wake_heap and (wake is None or wake_heap[0][0] < wake):
+                    wake = wake_heap[0][0]
+                if wake is not None:
+                    target = min(wake, max_cycles - 1)
+                    if watchdog_cycles is not None:
+                        target = min(target, self._last_progress
+                                     + watchdog_cycles - 1)
+                    if pause_at is not None:
+                        target = min(target, pause_at - 1)
+                    if target > cycle:
+                        delta = target - cycle
+                        self.arbiter.advance(delta, self.active)
+                        self.cycle = target
+                        stats.cycles = target
+                        self.ffwd_jumps += 1
+                        self.ffwd_cycles += delta
+        return SimResult(self.stats, self.memory, self._program,
+                         self.config, self.finished + self.active)
+
+    def _any_fills(self):
+        if self.config.op_cache is None:
+            return False
+        for unit in self._units_list:
+            cache = unit.opcache
+            if cache is not None and cache._fills:
+                return True
+        return False
+
+    def _flush_issue_counters(self):
+        stats = self.stats
+        total = 0
+        for unit, count in zip(self._units_list, self._issued_counts):
+            if count:
+                stats.issued_by_kind[unit.slot.kind] += count
+                stats.issued_by_unit[unit.slot.uid] += count
+                total += count
+        stats.total_operations += total
+        for tid, count in self._issued_tids.items():
+            stats.issued_by_thread[tid] += count
+        stats.arbitration_losses += self._arb_losses
+        stats.writeback_grants += self._wb_grants_batch
+        self._reset_issue_counters()
+
+    # -- checkpoint / restore ---------------------------------------------
+
+    _SNAPSHOT_FIELDS = Node._SNAPSHOT_FIELDS + (
+        "_pipe", "_pipe_seq", "_wake_heap", "_wb_count", "_adv_any",
+        "_decoded")
+
+    def _snapshot_memo(self):
+        """Pin the predecoded plans too: they are immutable and shared
+        between the node, its snapshots, and restored copies — and
+        pinning keeps thread.pending_plans entries identical to the
+        plans inside ``_decoded``."""
+        memo = super()._snapshot_memo()
+        if self._decoded is not None:
+            for decoded in self._decoded.values():
+                memo[id(decoded)] = decoded
+                for word in decoded.words:
+                    memo[id(word)] = word
+                    for plan in word.plans:
+                        memo[id(plan)] = plan
+        return memo
+
+    def _after_restore(self):
+        # restore() replaced self.units wholesale; re-derive the unit
+        # table (and per-unit index attributes) and force an arbiter
+        # order rebuild on the next issue.
+        self._build_unit_table()
+        self._wb_pending = {unit.index for unit in self._units_list
+                            if unit.writebacks}
+        self._wb_share = self.network.unrestricted
+        self._order = []
+        self._order_tids = None
+        self._order_dirty = True
+        self._reset_issue_counters()
+
+
+def _by_tid(thread):
+    return thread.tid
+
+
+def _by_priority(thread):
+    return (thread.priority, thread.tid)

@@ -11,7 +11,7 @@ import heapq
 from dataclasses import dataclass, field
 
 
-@dataclass
+@dataclass(slots=True)
 class InFlight:
     """An issued operation travelling down the unit's pipeline."""
 
@@ -20,7 +20,7 @@ class InFlight:
     payload: object     # ALU result / MemRequest ingredients / branch info
 
 
-@dataclass
+@dataclass(slots=True)
 class WritebackEntry:
     """A computed result waiting to be written to register files."""
 
@@ -40,6 +40,8 @@ class FunctionUnitState:
         self.writebacks = []         # WritebackEntry FIFO
         self.issued_this_cycle = False
         self.opcache = opcache       # None = perfect operation cache
+        self.index = None            # position in the node's unit table
+        self.latency = slot.latency  # hoisted for the event kernel
 
     @property
     def uid(self):

@@ -22,6 +22,13 @@ class WritebackNetwork:
         self._local_used = [0] * n_clusters
         self._global_used = [0] * n_clusters
         self._bus_used = 0
+        # Fully connected (every capacity unlimited): every grant
+        # trivially succeeds, which the event kernel exploits to bypass
+        # per-write arbitration entirely.
+        self.unrestricted = (spec.local_ports is UNLIMITED
+                             and spec.global_ports is UNLIMITED
+                             and spec.machine_bus is UNLIMITED
+                             and not spec.combined_port)
 
     def new_cycle(self):
         """Reset the per-cycle capacity counters."""

@@ -24,9 +24,15 @@ from ..isa.operations import (POST_EMPTY, POST_FULL, POST_KEEP, PRE_ALWAYS,
                               PRE_EMPTY, PRE_FULL)
 
 
-@dataclass
+@dataclass(slots=True)
 class MemRequest:
-    """One in-progress memory reference."""
+    """One in-progress memory reference.
+
+    ``spec`` caches the resolved :class:`OpcodeSpec` so the memory
+    system's hot paths never repeat the registry lookup behind
+    ``op.spec``; both kernels pass it at construction (and
+    ``__post_init__`` backfills it for hand-built requests).
+    """
 
     thread: object
     op: object
@@ -36,10 +42,15 @@ class MemRequest:
     submit_cycle: int = 0
     value: object = None          # filled in for loads on completion
     arrival: int = 0              # arrival sequence number (FIFO key)
+    spec: object = None           # resolved op.spec (cached)
+
+    def __post_init__(self):
+        if self.spec is None:
+            self.spec = self.op.spec
 
     @property
     def is_load(self):
-        return self.op.spec.is_load
+        return self.spec.is_load
 
 
 class MemorySystem:
@@ -100,7 +111,7 @@ class MemorySystem:
             self._begin_service(request, cycle)
 
     def _precondition_met(self, request):
-        pre = request.op.spec.precondition
+        pre = request.spec.precondition
         if pre == PRE_ALWAYS:
             return True
         if pre == PRE_FULL:
@@ -130,13 +141,14 @@ class MemorySystem:
         Returns True when the presence bit changed.  A presence_stall
         fault defers the bit update (the access itself completes)."""
         addr = request.addr
-        was_full = self.is_full(addr)
-        if request.op.spec.is_load:
+        was_full = addr not in self._empty
+        spec = request.spec
+        if spec.is_load:
             request.value = self._values.get(addr, 0)
         else:
             self._values[addr] = request.store_value
         self._last_touch[addr] = request.thread.tid
-        post = request.op.spec.postcondition
+        post = spec.postcondition
         if post not in (POST_FULL, POST_EMPTY):
             if post != POST_KEEP:
                 raise AssertionError("unknown postcondition %r" % post)
@@ -234,7 +246,7 @@ class MemorySystem:
         for addr, waiters in sorted(self._parked.items()):
             state = "full" if self.is_full(addr) else "empty"
             for request in waiters:
-                wanted = "full" if request.op.spec.precondition == PRE_FULL \
+                wanted = "full" if request.spec.precondition == PRE_FULL \
                     else "empty"
                 edges.append((request.thread.tid, addr, state, wanted,
                               self._last_touch.get(addr)))

@@ -21,7 +21,8 @@ import random
 from collections import deque
 from dataclasses import dataclass
 
-from ..errors import DeadlockError, SimulationError, WatchdogError
+from ..errors import (ConfigError, DeadlockError, SimulationError,
+                      WatchdogError)
 from ..isa.operations import UnitClass
 from .arbitration import make_arbiter
 from .faults import FaultInjector
@@ -71,15 +72,24 @@ class SimResult:
 
 
 class Node:
-    """One simulation of one program on one machine configuration."""
+    """One simulation of one program on one machine configuration.
+
+    This class is the *scan* kernel: every cycle it rescans all active
+    threads and units.  The event kernel
+    (:class:`~repro.sim.event.EventNode`) subclasses it and overrides
+    the hot loop; use :func:`make_node` (or :func:`run_program`) to get
+    the kernel the configuration asks for.
+    """
 
     MAX_THREADS = 4096
+    engine = "scan"
 
     def __init__(self, config, observer=None, fast_forward=True):
         self.config = config
         self.observer = observer
         self.fast_forward = bool(fast_forward)
-        self.stats = Stats()
+        self.stats = Stats(unit_counts={kind.value: config.count(kind)
+                                        for kind in UnitClass})
         self.rng = random.Random(config.seed)
         fill_board = {} if config.op_cache is not None else None
         self.units = {
@@ -294,11 +304,11 @@ class Node:
         if spec.is_memory:
             if spec.is_load:
                 addr = int(values[0]) + int(values[1])
-                payload = MemRequest(thread, op, unit.slot, addr)
+                payload = MemRequest(thread, op, unit.slot, addr, spec=spec)
             else:
                 addr = int(values[1]) + int(values[2])
                 payload = MemRequest(thread, op, unit.slot, addr,
-                                     store_value=values[0])
+                                     store_value=values[0], spec=spec)
         elif spec.unit is UnitClass.BRU:
             payload = self._control_payload(thread, op, values)
             thread.control_inflight = True
@@ -345,9 +355,14 @@ class Node:
         """
         validate_program(program, self.config)
         self._program = program
+        self._prepare(program)
         load_memory(self.memory, program, overrides)
         self.spawn(program.thread(program.main))
         return self._loop(max_cycles, watchdog_cycles, pause_at)
+
+    def _prepare(self, program):
+        """Hook for per-program setup before the first spawn (the event
+        kernel predecodes here)."""
 
     def resume(self, max_cycles=5_000_000, watchdog_cycles=None,
                pause_at=None):
@@ -583,12 +598,21 @@ class Node:
             {name: getattr(self, name) for name in self._SNAPSHOT_FIELDS},
             self._snapshot_memo())
         state["config"] = self.config
+        state["engine"] = self.engine
         return state
 
     @classmethod
     def restore(cls, snap, observer=None):
         """Rebuild a node from a :meth:`snapshot`; resume() continues
-        the run.  The snapshot is copied, so it can be restored again."""
+        the run.  The snapshot is copied, so it can be restored again.
+
+        Called on :class:`Node` itself, this dispatches to the kernel
+        class the snapshot was taken from (snapshots carry
+        kernel-specific state, so the classes are not interchangeable).
+        """
+        if cls is Node and snap.get("engine", "scan") != "scan":
+            return node_class_for_engine(snap["engine"]).restore(
+                snap, observer=observer)
         node = cls(snap["config"], observer=observer)
         state = copy.deepcopy(
             {name: snap[name] for name in cls._SNAPSHOT_FIELDS},
@@ -603,17 +627,39 @@ class Node:
             node.injector = FaultInjector(node.config.fault_plan,
                                           node.stats)
         node.memory.injector = node.injector
+        node._after_restore()
         return node
+
+    def _after_restore(self):
+        """Hook: re-derive state that restore() replaced wholesale (the
+        event kernel rebuilds its unit table and arbiter order here)."""
+
+
+def node_class_for_engine(engine):
+    """The kernel class implementing ``engine`` ("event" or "scan")."""
+    if engine == "scan":
+        return Node
+    if engine == "event":
+        from .event import EventNode   # deferred: event.py subclasses Node
+        return EventNode
+    raise ConfigError("unknown simulator engine %r" % (engine,))
+
+
+def make_node(config, observer=None, fast_forward=True):
+    """Build a node running the kernel ``config.engine`` selects."""
+    cls = node_class_for_engine(config.engine)
+    return cls(config, observer=observer, fast_forward=fast_forward)
 
 
 def run_program(program, config, overrides=None, max_cycles=5_000_000,
                 observer=None, watchdog_cycles=None, fast_forward=True):
-    """Convenience wrapper: simulate ``program`` on ``config``.
+    """Convenience wrapper: simulate ``program`` on ``config`` with the
+    kernel ``config.engine`` selects.
 
     ``fast_forward=False`` disables the skip-ahead fast path and
     simulates every cycle (the results are identical either way; the
     flag exists for differential testing and perf comparison).
     """
-    node = Node(config, observer=observer, fast_forward=fast_forward)
+    node = make_node(config, observer=observer, fast_forward=fast_forward)
     return node.run(program, overrides=overrides, max_cycles=max_cycles,
                     watchdog_cycles=watchdog_cycles)

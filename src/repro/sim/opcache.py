@@ -104,6 +104,15 @@ class OperationCache:
         """True when the thread's current word has a fill in progress."""
         return (thread.program.name, thread.ip) in self._fills
 
+    def fill_ready_cycle(self, thread):
+        """The cycle the thread's in-progress fill completes, or None
+        when no fill for its current word is in flight (event-kernel
+        wake scheduling)."""
+        return self._fills.get((thread.program.name, thread.ip))
+
+    def has_fills(self):
+        return bool(self._fills)
+
     def next_fill_ready(self):
         """Earliest ready cycle among in-progress fills, or None."""
         return min(self._fills.values()) if self._fills else None

@@ -1,0 +1,142 @@
+"""Load-time predecoding of wide instruction words into slot plans.
+
+The scan kernel re-derives everything about an operation every cycle it
+is pending: opcode spec lookups (a registry dict hit per call of
+``Operation.spec``), source-register list construction, branch label
+resolution, and unit table lookups.  None of that can change once a
+program is loaded on a machine, so the event kernel hoists it all to
+load time: each :class:`~repro.isa.instruction.Operation` becomes a
+:class:`SlotPlan` carrying the resolved spec, flat operand fetch
+offsets, prebuilt control payloads, and the home unit's index into the
+node's unit table.  The per-cycle path then touches only plain
+attributes, ints, and tuples.
+
+Plans are immutable after decoding and are shared freely between a
+node, its snapshots, and restored copies.  They deliberately reference
+the original ``Operation`` objects (``plan.op``) so observers, memory
+requests, and diagnostics show the exact objects the scan kernel would.
+"""
+
+from ..errors import SimulationError
+from ..isa.operations import UnitClass
+
+
+class SlotPlan:
+    """Everything the issue path needs about one operation, resolved."""
+
+    __slots__ = ("uid", "unit_index", "op", "spec", "name",
+                 "wait_groups", "src_fields", "values_template",
+                 "dest_pairs", "is_memory", "is_load", "is_bru",
+                 "control", "taken_payload", "untaken_payload",
+                 "fork_name", "bindings_plan")
+
+    def __init__(self, uid, unit_index, op, thread_program):
+        spec = op.spec
+        self.uid = uid
+        self.unit_index = unit_index
+        self.op = op
+        self.spec = spec
+        self.name = op.name
+        self.is_memory = spec.is_memory
+        self.is_load = spec.is_load
+        self.is_bru = spec.unit is UnitClass.BRU
+        # Presence-bit wait set: every register the op reads plus every
+        # register it writes (WAW interlock), grouped by cluster so the
+        # hot loop does one frame lookup per cluster.
+        groups = {}
+        seen = set()
+        for reg in list(op.source_regs()) + list(op.dests):
+            key = (reg.cluster, reg.index)
+            if key in seen:
+                continue
+            seen.add(key)
+            groups.setdefault(reg.cluster, []).append(reg.index)
+        self.wait_groups = tuple((cluster, tuple(indices))
+                                 for cluster, indices in groups.items())
+        # Operand fetch: immediates are baked into the template, register
+        # reads recorded as (position, cluster, index) patches.
+        if op.srcs:
+            template = []
+            fields = []
+            for pos, src in enumerate(op.srcs):
+                if hasattr(src, "cluster"):
+                    template.append(None)
+                    fields.append((pos, src.cluster, src.index))
+                else:
+                    template.append(src.value)
+            self.values_template = template
+            self.src_fields = tuple(fields)
+        else:
+            self.values_template = None
+            self.src_fields = ()
+        self.dest_pairs = tuple((d.cluster, d.index) for d in op.dests)
+        # Control: resolve branch targets and fork wiring now, so issue
+        # builds payloads from plain tuples.
+        self.control = None
+        self.taken_payload = None
+        self.untaken_payload = None
+        self.fork_name = None
+        self.bindings_plan = None
+        if self.is_bru:
+            if spec.is_halt:
+                self.control = "halt"
+                self.taken_payload = ("halt",)
+            elif spec.is_fork:
+                self.control = "fork"
+                self.fork_name = op.target.name
+                plan = []
+                for child_reg, value in op.bindings:
+                    if hasattr(value, "cluster"):
+                        plan.append((child_reg, True,
+                                     value.cluster, value.index))
+                    else:
+                        plan.append((child_reg, False, value.value, None))
+                self.bindings_plan = tuple(plan)
+            else:
+                target = thread_program.resolve(op.target)
+                self.control = op.name
+                self.taken_payload = ("jump", target)
+                self.untaken_payload = ("jump", None)
+
+
+class WordPlan:
+    """One predecoded instruction word (plans in slot insertion order,
+    exactly the order the scan kernel's ``dict(word.slots)`` yields)."""
+
+    __slots__ = ("plans",)
+
+    def __init__(self, plans):
+        self.plans = tuple(plans)
+
+
+class DecodedThread:
+    """The predecoded form of one thread program."""
+
+    __slots__ = ("name", "words")
+
+    def __init__(self, name, words):
+        self.name = name
+        self.words = tuple(words)
+
+
+def decode_program(program, unit_index):
+    """Predecode every thread of ``program``.
+
+    ``unit_index`` maps unit ids to their position in the node's unit
+    table.  Returns a dict of thread name -> :class:`DecodedThread`.
+    Assumes the program already passed
+    :func:`~repro.sim.loader.validate_program` against the same
+    machine (every uid present, no empty words).
+    """
+    decoded = {}
+    for name, thread_program in program.threads.items():
+        words = []
+        for index, word in enumerate(thread_program.instructions):
+            plans = [SlotPlan(uid, unit_index[uid], op, thread_program)
+                     for uid, op in word.slots.items()]
+            if not plans:
+                raise SimulationError("thread %r word %d is empty"
+                                      % (name, index))
+            words.append(WordPlan(plans))
+        decoded[name] = DecodedThread(name, words)
+    return decoded

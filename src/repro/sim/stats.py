@@ -12,9 +12,16 @@ from ..isa.operations import UnitClass
 
 
 class Stats:
-    """Mutable counters filled in during simulation."""
+    """Mutable counters filled in during simulation.
 
-    def __init__(self):
+    ``unit_counts`` maps unit-class names (``"iu"``, ``"fpu"``, ...) to
+    the number of units of that class in the machine; :meth:`summary`
+    uses it to normalize per-class utilization into [0, 1].  An empty
+    dict (bare ``Stats()``) leaves the values unnormalized.
+    """
+
+    def __init__(self, unit_counts=None):
+        self.unit_counts = dict(unit_counts or {})
         self.cycles = 0
         self.issued_by_kind = Counter()
         self.issued_by_unit = Counter()
@@ -67,15 +74,30 @@ class Stats:
         """A flat, JSON-serializable digest of the run (plain string
         keys, int/float values only — ``json.dumps(stats.summary())``
         must always work; ``repro bench`` and the experiment reports
-        dump it raw)."""
+        dump it raw).
+
+        Per-class ``*_util`` values are *normalized*: average busy
+        fraction per unit of the class, in [0, 1] (the raw ops/cycle
+        table — which can exceed 1.0 with several units per class — is
+        :meth:`utilization_table`).  The raw per-class issue counts are
+        reported under ``*_issued``."""
         util = self.utilization_table()
+
+        def norm(kind):
+            count = self.unit_counts.get(kind.value, 1) or 1
+            return util[kind.value] / count
+
         return {
             "cycles": self.cycles,
             "operations": self.total_operations,
-            "fpu_util": util[UnitClass.FPU.value],
-            "iu_util": util[UnitClass.IU.value],
-            "mem_util": util[UnitClass.MEM.value],
-            "bru_util": util[UnitClass.BRU.value],
+            "fpu_util": norm(UnitClass.FPU),
+            "iu_util": norm(UnitClass.IU),
+            "mem_util": norm(UnitClass.MEM),
+            "bru_util": norm(UnitClass.BRU),
+            "fpu_issued": self.issued_by_kind[UnitClass.FPU],
+            "iu_issued": self.issued_by_kind[UnitClass.IU],
+            "mem_issued": self.issued_by_kind[UnitClass.MEM],
+            "bru_issued": self.issued_by_kind[UnitClass.BRU],
             "threads": self.threads_spawned,
             "memory_accesses": self.memory_accesses,
             "memory_misses": self.memory_misses,

@@ -31,6 +31,14 @@ class ThreadContext:
         self.pending = {}            # unit id -> Operation, not yet issued
         self.control_inflight = False
         self.halted = False
+        # Event-kernel state (unused by the scan kernel): the thread's
+        # predecoded program, its un-issued slot plans for the current
+        # word, whether it is parked waiting for a wake condition, and
+        # whether its word completed and the ip should advance.
+        self.decoded = None
+        self.pending_plans = []
+        self.parked = False
+        self.advance_ready = True
 
     def frame(self, cluster):
         frame = self.frames.get(cluster)
@@ -101,10 +109,17 @@ class ThreadContext:
                 captured.append((child_reg, value.value))
         return captured
 
+    def pending_ops(self):
+        """(unit id, Operation) pairs not yet issued, whichever kernel
+        is running the thread (diagnostics only)."""
+        if self.pending_plans:
+            return [(plan.uid, plan.op) for plan in self.pending_plans]
+        return list(self.pending.items())
+
     def stall_reason(self):
         """Describe why the thread cannot issue (deadlock diagnostics)."""
         reasons = []
-        for uid, op in sorted(self.pending.items()):
+        for uid, op in sorted(self.pending_ops()):
             waiting = [str(reg)
                        for reg in list(op.source_regs()) + list(op.dests)
                        if not self.frame(reg.cluster).is_valid(reg.index)]

@@ -9,7 +9,7 @@ function units to threads), reconstructed from a real run.
 Usage::
 
     recorder = TraceRecorder()
-    node = Node(config, observer=recorder)
+    node = make_node(config, observer=recorder)
     node.run(program)
     print(render_timeline(recorder, config, last=40))
 """

@@ -1,0 +1,130 @@
+"""Engine equivalence: the event-driven kernel must be *bit-identical*
+to the scan kernel on every architecturally visible quantity — cycle
+counts, the full statistics record, final memory contents, and presence
+bits — across every benchmark x mode cell, under fault injection, with
+the skip-ahead fast path on or off, and through snapshot/restore
+round-trips taken mid-run."""
+
+import pytest
+
+from repro import compile_program
+from repro.experiments.paper import MODE_ORDER
+from repro.machine import baseline
+from repro.programs import get_benchmark
+from repro.programs.suite import BENCHMARK_ORDER
+from repro.sim import EventNode, FaultPlan, Node, make_node, run_program
+
+
+def _cells():
+    for benchmark in BENCHMARK_ORDER:
+        bench = get_benchmark(benchmark)
+        for mode in MODE_ORDER:
+            if mode in bench.modes:
+                yield benchmark, mode
+
+
+def _run_both(benchmark, mode, mutate=None, fast_forward=True):
+    bench = get_benchmark(benchmark)
+    inputs = bench.make_inputs(1)
+    config = baseline()
+    if mutate is not None:
+        config = mutate(config)
+    compiled = compile_program(bench.source(mode), config, mode=mode)
+    results = {}
+    for engine in ("scan", "event"):
+        results[engine] = run_program(compiled.program,
+                                      config.with_engine(engine),
+                                      overrides=inputs,
+                                      fast_forward=fast_forward)
+    return results["scan"], results["event"]
+
+
+def _assert_identical(scan, event):
+    assert event.cycles == scan.cycles
+    scan_stats = dict(scan.stats.__dict__)
+    event_stats = dict(event.stats.__dict__)
+    for key in sorted(set(scan_stats) | set(event_stats)):
+        assert event_stats.get(key) == scan_stats.get(key), \
+            "stats.%s diverged: scan=%r event=%r" \
+            % (key, scan_stats.get(key), event_stats.get(key))
+    assert event.memory._values == scan.memory._values
+    assert event.memory._empty == scan.memory._empty
+
+
+@pytest.mark.parametrize("bench_name,mode", list(_cells()))
+def test_every_benchmark_mode_is_identical(bench_name, mode):
+    scan, event = _run_both(bench_name, mode)
+    _assert_identical(scan, event)
+
+
+@pytest.mark.parametrize("bench_name,mode", [("matrix", "coupled"),
+                                            ("fft", "coupled")])
+def test_identical_under_fault_injection(bench_name, mode):
+    def faulty(config):
+        return config.with_faults(FaultPlan.random(7, config, rate=3.0,
+                                                   horizon=4000))
+    scan, event = _run_both(bench_name, mode, mutate=faulty)
+    _assert_identical(scan, event)
+
+
+@pytest.mark.parametrize("scheme", ["shared-bus", "single-port"])
+def test_identical_under_restricted_interconnect(scheme):
+    # Exercises the event kernel's arbitrated (non-direct) writeback
+    # path, where entries can wait cycles for a port.
+    scan, event = _run_both(
+        "matrix", "coupled", mutate=lambda c: c.with_interconnect(scheme))
+    _assert_identical(scan, event)
+
+
+def test_identical_without_fast_forward():
+    scan, event = _run_both("matrix", "coupled", fast_forward=False)
+    _assert_identical(scan, event)
+
+
+def test_identical_under_round_robin_arbitration():
+    scan, event = _run_both(
+        "fft", "coupled",
+        mutate=lambda c: c.with_arbitration("round-robin"))
+    _assert_identical(scan, event)
+
+
+class TestSnapshotRestore:
+    """Mid-run checkpoints under the event engine resume bit-identically
+    — on the original node, and on a node restored from the snapshot
+    (which must dispatch back to the event kernel)."""
+
+    def _paused_node(self, config, pause_at=300):
+        bench = get_benchmark("fft")
+        inputs = bench.make_inputs(1)
+        compiled = compile_program(bench.source("coupled"), config,
+                                   mode="coupled")
+        node = make_node(config)
+        assert node.run(compiled.program, overrides=inputs,
+                        pause_at=pause_at) is None
+        full = run_program(compiled.program, config, overrides=inputs)
+        return node, full
+
+    def test_event_snapshot_roundtrip(self):
+        config = baseline().with_engine("event")
+        node, full = self._paused_node(config)
+        snap = node.snapshot()
+        restored = Node.restore(snap)
+        assert isinstance(restored, EventNode)
+        _assert_identical(full, restored.resume())
+        _assert_identical(full, node.resume())
+
+    def test_event_snapshot_roundtrip_with_faults(self):
+        config = baseline().with_engine("event")
+        config = config.with_faults(FaultPlan.random(7, config, rate=3.0,
+                                                     horizon=4000))
+        node, full = self._paused_node(config)
+        restored = Node.restore(node.snapshot())
+        assert isinstance(restored, EventNode)
+        _assert_identical(full, restored.resume())
+
+    def test_scan_snapshot_still_restores_scan(self):
+        config = baseline().with_engine("scan")
+        node, full = self._paused_node(config)
+        restored = Node.restore(node.snapshot())
+        assert type(restored) is Node
+        _assert_identical(full, restored.resume())

@@ -88,3 +88,28 @@ class TestInfo:
     def test_describe(self):
         __, text = invoke(["describe", "--memory", "mem1"])
         assert "cluster 0" in text and "mem1" in text
+
+
+class TestEngineAndProfile:
+    def test_engines_agree(self, source_file):
+        argv = ["run", source_file, "--set", "x=1,2,3,4",
+                "--print", "out"]
+        __, event = invoke(argv + ["--engine", "event"])
+        __, scan = invoke(argv + ["--engine", "scan"])
+        assert event == scan
+        assert "out = [3, 6, 9, 12]" in event
+
+    def test_unknown_engine_rejected(self, source_file):
+        with pytest.raises(SystemExit):
+            invoke(["run", source_file, "--engine", "turbo"])
+
+    def test_profile_prints_hotspots(self, source_file):
+        code, text = invoke(["run", source_file, "--profile", "8",
+                             "--set", "x=1,2,3,4", "--print", "out"])
+        assert code == 0
+        assert "out = [3, 6, 9, 12]" in text
+        assert "cumulative" in text and "function calls" in text
+
+    def test_profile_default_depth(self, source_file):
+        code, text = invoke(["run", source_file, "--profile"])
+        assert code == 0 and "cumulative" in text

@@ -1,0 +1,49 @@
+"""The engine toggle on MachineConfig and node construction."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.machine import baseline
+from repro.machine.config import ENGINES
+from repro.sim import (EventNode, Node, make_node,
+                       node_class_for_engine)
+
+
+class TestEngineConfig:
+    def test_default_engine_is_event(self):
+        assert ENGINES[0] == "event"
+        assert baseline().engine == "event"
+
+    def test_with_engine(self):
+        config = baseline().with_engine("scan")
+        assert config.engine == "scan"
+        assert baseline().engine == "event"   # original untouched
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigError, match="unknown simulator engine"):
+            baseline().with_engine("turbo")
+
+    def test_engine_does_not_change_run_signature(self):
+        # Both kernels are bit-identical, so cached run results and
+        # compiled programs are shared across engines.
+        scan = baseline().with_engine("scan")
+        event = baseline().with_engine("event")
+        assert scan.run_signature() == event.run_signature()
+        assert scan.schedule_signature() == event.schedule_signature()
+
+    def test_describe_names_engine(self):
+        assert "engine" in baseline().describe()
+        assert "scan" in baseline().with_engine("scan").describe()
+
+
+class TestNodeConstruction:
+    def test_node_class_for_engine(self):
+        assert node_class_for_engine("scan") is Node
+        assert node_class_for_engine("event") is EventNode
+        with pytest.raises(ConfigError):
+            node_class_for_engine("turbo")
+
+    def test_make_node_honours_config(self):
+        assert isinstance(make_node(baseline()), EventNode)
+        scan = make_node(baseline().with_engine("scan"))
+        assert type(scan) is Node

@@ -170,3 +170,29 @@ class TestCli:
     def test_unknown_target_rejected(self):
         with pytest.raises(SystemExit):
             experiments_main(["table9"], out=io.StringIO())
+
+
+class TestCacheHitReporting:
+    def test_fresh_compile_is_a_miss(self):
+        harness = Harness(compile_cache=False)
+        result = harness.run("matrix", "seq", baseline())
+        assert result.cache_hit is False
+
+    def test_in_memory_hit(self):
+        # Same schedule signature across interconnects: the second run
+        # reuses the in-memory compile and reports a hit.
+        harness = Harness(compile_cache=False)
+        config = baseline()
+        first = harness.run("matrix", "seq", config)
+        second = harness.run("matrix", "seq",
+                             config.with_interconnect("tri-port"))
+        assert first.cache_hit is False
+        assert second.cache_hit is True
+
+    def test_disk_hit(self, tmp_path):
+        from repro.compiler import CompileCache
+        config = baseline()
+        cold = Harness(compile_cache=CompileCache(str(tmp_path)))
+        assert cold.run("matrix", "seq", config).cache_hit is False
+        warm = Harness(compile_cache=CompileCache(str(tmp_path)))
+        assert warm.run("matrix", "seq", config).cache_hit is True

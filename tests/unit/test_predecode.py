@@ -1,0 +1,97 @@
+"""Load-time predecoding of instruction words into slot plans."""
+
+import pytest
+
+from repro import compile_program
+from repro.errors import SimulationError
+from repro.machine import baseline
+from repro.sim.predecode import (DecodedThread, SlotPlan, WordPlan,
+                                 decode_program)
+
+SOURCE = """
+(program
+  (global x 4 :int)
+  (global out 4 :int)
+  (main
+    (for (i 0 4)
+      (aset! out i (* (aref x i) 3)))))
+"""
+
+
+@pytest.fixture(scope="module")
+def decoded_and_program():
+    config = baseline()
+    program = compile_program(SOURCE, config, mode="coupled").program
+    unit_index = {slot.uid: i for i, slot in enumerate(config.units)}
+    return decode_program(program, unit_index), program, unit_index
+
+
+class TestDecodeProgram:
+    def test_covers_every_thread_and_word(self, decoded_and_program):
+        decoded, program, __ = decoded_and_program
+        assert set(decoded) == set(program.threads)
+        for name, thread in decoded.items():
+            assert isinstance(thread, DecodedThread)
+            assert len(thread.words) == \
+                len(program.threads[name].instructions)
+
+    def test_plans_follow_slot_insertion_order(self, decoded_and_program):
+        decoded, program, __ = decoded_and_program
+        for name, thread in decoded.items():
+            source = program.threads[name].instructions
+            for word_plan, word in zip(thread.words, source):
+                assert isinstance(word_plan, WordPlan)
+                assert [p.uid for p in word_plan.plans] == \
+                    list(word.slots)
+
+    def test_plan_resolves_spec_and_operands(self, decoded_and_program):
+        decoded, program, unit_index = decoded_and_program
+        for name, thread in decoded.items():
+            source = program.threads[name].instructions
+            for word_plan, word in zip(thread.words, source):
+                for plan in word_plan.plans:
+                    op = word.slots[plan.uid]
+                    assert isinstance(plan, SlotPlan)
+                    assert plan.op is op
+                    assert plan.spec is op.spec
+                    assert plan.unit_index == unit_index[plan.uid]
+                    assert plan.dest_pairs == tuple(
+                        (d.cluster, d.index) for d in op.dests)
+                    assert plan.is_memory == op.spec.is_memory
+                    assert plan.is_load == op.spec.is_load
+                    # Register reads appear as patch fields; immediates
+                    # are baked into the value template.
+                    for pos, cluster, index in plan.src_fields:
+                        src = op.srcs[pos]
+                        assert (src.cluster, src.index) == (cluster, index)
+                        assert plan.values_template[pos] is None
+
+    def test_wait_groups_cover_reads_and_waw(self, decoded_and_program):
+        decoded, program, __ = decoded_and_program
+        for name, thread in decoded.items():
+            source = program.threads[name].instructions
+            for word_plan, word in zip(thread.words, source):
+                for plan in word_plan.plans:
+                    op = word.slots[plan.uid]
+                    expected = {(r.cluster, r.index)
+                                for r in list(op.source_regs())
+                                + list(op.dests)}
+                    got = {(cluster, index)
+                           for cluster, indices in plan.wait_groups
+                           for index in indices}
+                    assert got == expected
+
+    def test_empty_word_rejected(self, decoded_and_program):
+        __, program, unit_index = decoded_and_program
+
+        class EmptyWord:
+            slots = {}
+
+        class FakeThread:
+            instructions = [EmptyWord()]
+
+        class FakeProgram:
+            threads = {"broken": FakeThread()}
+
+        with pytest.raises(SimulationError, match="word 0 is empty"):
+            decode_program(FakeProgram(), unit_index)
