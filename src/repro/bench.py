@@ -13,6 +13,7 @@ the simulator is getting faster.
     python -m repro bench --workers 4      # process-pool fan-out
     python -m repro bench --no-fast-forward  # disable skip-ahead
     python -m repro bench --engine scan    # force the scan kernel
+    python -m repro bench --no-fusion      # event kernel, superblocks off
     python -m repro bench --compare BENCH_20260806.json   # regression gate
 
 ``--compare`` checks the fresh run against a recorded trajectory
@@ -20,6 +21,10 @@ point: any simulated-cycle drift on a shared cell is an error (the
 simulator's architectural behavior changed), and an aggregate
 throughput drop beyond ``--regression-threshold`` (default 20%) fails
 the run.  The exit status is non-zero on either, so CI can gate on it.
+It also prints a per-cell throughput delta table (worst regression
+first) and warns — without failing — when the two reports were taken
+under different kernels, since cross-engine throughput comparisons
+measure the engines, not the commit.
 
 Output schema (version 1; later additions are additive)::
 
@@ -31,6 +36,7 @@ Output schema (version 1; later additions are additive)::
       "seed": N,
       "fast_forward": bool,
       "engine": "event" | "scan",
+      "fusion": bool,               # superblock fusion (event kernel)
       "total_wall_s": float,        # whole-suite wall clock
       "aggregate_cycles_per_sec": float,   # sum(cycles)/sum(wall_s)
       "results": [
@@ -137,6 +143,32 @@ def compare_reports(report, reference, threshold=0.2):
     return problems
 
 
+def delta_table(report, reference):
+    """Per-cell throughput deltas against a reference report, worst
+    regression first.  Returns display lines (empty when the reports
+    share no cells)."""
+    current = {(r["benchmark"], r["mode"]): r for r in report["results"]}
+    recorded = {(r["benchmark"], r["mode"]): r
+                for r in reference["results"]}
+    rows = []
+    for key in recorded:
+        if key not in current:
+            continue
+        old = recorded[key]["cycles_per_sec"]
+        new = current[key]["cycles_per_sec"]
+        delta = 100.0 * (new - old) / old if old > 0 else 0.0
+        rows.append((delta, key[0], key[1], old, new))
+    if not rows:
+        return []
+    rows.sort(key=lambda row: row[0])
+    lines = ["%-10s %-8s %12s %12s %8s"
+             % ("benchmark", "mode", "old c/s", "new c/s", "delta")]
+    for delta, benchmark, mode, old, new in rows:
+        lines.append("%-10s %-8s %12.0f %12.0f %+7.1f%%"
+                     % (benchmark, mode, old, new, delta))
+    return lines
+
+
 def bench_filename(date=None):
     date = date or time.strftime("%Y%m%d")
     return "BENCH_%s.json" % date
@@ -144,9 +176,11 @@ def bench_filename(date=None):
 
 def render(report):
     """A human-readable digest of one bench report."""
-    lines = ["bench %s: suite=%s workers=%s fast_forward=%s engine=%s"
+    lines = ["bench %s: suite=%s workers=%s fast_forward=%s engine=%s "
+             "fusion=%s"
              % (report["date"], report["suite"], report["workers"],
-                report["fast_forward"], report.get("engine", "scan"))]
+                report["fast_forward"], report.get("engine", "scan"),
+                "on" if report.get("fusion", True) else "off")]
     lines.append("%-10s %-8s %10s %9s %9s %5s %12s"
                  % ("benchmark", "mode", "cycles", "wall_s",
                     "compile_s", "cache", "cycles/sec"))
@@ -187,6 +221,9 @@ def main(argv=None, out=None):
     parser.add_argument("--engine", choices=ENGINES, default=None,
                         help="simulator kernel (default: the machine "
                              "default, %s)" % ENGINES[0])
+    parser.add_argument("--no-fusion", action="store_true",
+                        help="disable superblock fusion (event kernel "
+                             "falls back to word-by-word dispatch)")
     parser.add_argument("--compare", metavar="BENCH_FILE",
                         help="regression-gate against a recorded "
                              "BENCH_<date>.json; exits non-zero on "
@@ -208,6 +245,8 @@ def main(argv=None, out=None):
     config = baseline()
     if args.engine is not None:
         config = config.with_engine(args.engine)
+    if args.no_fusion:
+        config = config.with_fusion(False)
     harness = Harness(seed=args.seed, check=not args.no_check,
                       fast_forward=not args.no_fast_forward,
                       compile_cache=False if args.no_compile_cache
@@ -225,6 +264,7 @@ def main(argv=None, out=None):
         "seed": args.seed,
         "fast_forward": not args.no_fast_forward,
         "engine": config.engine,
+        "fusion": config.fusion,
         "total_wall_s": round(total_wall, 6),
         "aggregate_cycles_per_sec":
             round(aggregate_cycles_per_sec(records), 1),
@@ -237,6 +277,14 @@ def main(argv=None, out=None):
     out.write(render(report) + "\n")
     out.write("wrote %s\n" % os.path.abspath(path))
     if reference is not None:
+        ref_engine = reference.get("engine", "scan")
+        if ref_engine != report["engine"]:
+            out.write("warning: comparing %s-engine run against "
+                      "%s-engine reference %s; throughput deltas "
+                      "measure the kernels, not this commit\n"
+                      % (report["engine"], ref_engine, args.compare))
+        for line in delta_table(report, reference):
+            out.write(line + "\n")
         problems = compare_reports(report, reference,
                                    threshold=args.regression_threshold)
         if problems:

@@ -39,6 +39,8 @@ def _build_config(args):
         config = config.with_faults(FaultPlan.from_file(args.faults))
     if getattr(args, "engine", None):
         config = config.with_engine(args.engine)
+    if getattr(args, "no_fusion", False):
+        config = config.with_fusion(False)
     return config
 
 
@@ -152,6 +154,9 @@ def _add_program_options(parser):
     parser.add_argument("--seed", type=int)
     parser.add_argument("--engine", choices=ENGINES,
                         help="simulator kernel (default %s)" % ENGINES[0])
+    parser.add_argument("--no-fusion", action="store_true",
+                        help="disable superblock fusion in the event "
+                             "kernel (word-by-word dispatch)")
 
 
 def main(argv=None, out=None):

@@ -48,7 +48,7 @@ class MachineConfig:
     def __init__(self, clusters, interconnect=None, memory=None,
                  arbitration="priority", memory_size=65536, seed=12345,
                  name="custom", op_cache=None, max_active_threads=None,
-                 fault_plan=None, engine="event"):
+                 fault_plan=None, engine="event", fusion=True):
         self.clusters = tuple(clusters)
         if isinstance(interconnect, (CommScheme, str)):
             interconnect = InterconnectSpec.from_scheme(interconnect)
@@ -70,6 +70,7 @@ class MachineConfig:
             raise ConfigError("unknown simulator engine %r (have: %s)"
                               % (engine, ", ".join(ENGINES)))
         self.engine = engine
+        self.fusion = bool(fusion)
         self._build_tables()
         self._validate()
         if fault_plan is not None:
@@ -139,7 +140,8 @@ class MachineConfig:
                              name="%s/%s" % (self.name, CommScheme(scheme)),
                              op_cache=self.op_cache,
                              max_active_threads=self.max_active_threads,
-                             fault_plan=self.fault_plan, engine=self.engine)
+                             fault_plan=self.fault_plan, engine=self.engine,
+                             fusion=self.fusion)
 
     def with_memory(self, memory_spec):
         return MachineConfig(self.clusters, self.interconnect, memory_spec,
@@ -147,21 +149,24 @@ class MachineConfig:
                              name="%s/%s" % (self.name, memory_spec.name),
                              op_cache=self.op_cache,
                              max_active_threads=self.max_active_threads,
-                             fault_plan=self.fault_plan, engine=self.engine)
+                             fault_plan=self.fault_plan, engine=self.engine,
+                             fusion=self.fusion)
 
     def with_arbitration(self, policy):
         return MachineConfig(self.clusters, self.interconnect, self.memory,
                              policy, self.memory_size, self.seed,
                              name=self.name, op_cache=self.op_cache,
                              max_active_threads=self.max_active_threads,
-                             fault_plan=self.fault_plan, engine=self.engine)
+                             fault_plan=self.fault_plan, engine=self.engine,
+                             fusion=self.fusion)
 
     def with_seed(self, seed):
         return MachineConfig(self.clusters, self.interconnect, self.memory,
                              self.arbitration, self.memory_size, seed,
                              name=self.name, op_cache=self.op_cache,
                              max_active_threads=self.max_active_threads,
-                             fault_plan=self.fault_plan, engine=self.engine)
+                             fault_plan=self.fault_plan, engine=self.engine,
+                             fusion=self.fusion)
 
     def with_op_cache(self, op_cache_spec):
         """Replace the paper's perfect-instruction-cache assumption
@@ -170,7 +175,8 @@ class MachineConfig:
                              self.arbitration, self.memory_size, self.seed,
                              name=self.name, op_cache=op_cache_spec,
                              max_active_threads=self.max_active_threads,
-                             fault_plan=self.fault_plan, engine=self.engine)
+                             fault_plan=self.fault_plan, engine=self.engine,
+                             fusion=self.fusion)
 
     def with_max_active_threads(self, limit):
         """Bound the hardware active set (paper Section 2: "hardware is
@@ -181,7 +187,8 @@ class MachineConfig:
                              self.arbitration, self.memory_size, self.seed,
                              name=self.name, op_cache=self.op_cache,
                              max_active_threads=limit,
-                             fault_plan=self.fault_plan, engine=self.engine)
+                             fault_plan=self.fault_plan, engine=self.engine,
+                             fusion=self.fusion)
 
     def with_faults(self, fault_plan):
         """Attach a fault-injection plan (``repro.sim.faults.FaultPlan``)
@@ -193,7 +200,8 @@ class MachineConfig:
                              self.arbitration, self.memory_size, self.seed,
                              name=self.name, op_cache=self.op_cache,
                              max_active_threads=self.max_active_threads,
-                             fault_plan=fault_plan, engine=self.engine)
+                             fault_plan=fault_plan, engine=self.engine,
+                             fusion=self.fusion)
 
     def with_engine(self, engine):
         """Select the simulator kernel (``"event"`` or ``"scan"``).
@@ -203,7 +211,22 @@ class MachineConfig:
                              self.arbitration, self.memory_size, self.seed,
                              name=self.name, op_cache=self.op_cache,
                              max_active_threads=self.max_active_threads,
-                             fault_plan=self.fault_plan, engine=engine)
+                             fault_plan=self.fault_plan, engine=engine,
+                             fusion=self.fusion)
+
+    def with_fusion(self, fusion):
+        """Toggle superblock fusion in the event kernel (see
+        ``repro.sim.predecode``).  Like ``engine``, the toggle cannot
+        change any simulated outcome — fused execution is bit-identical
+        to the interpreted path — so it is excluded from
+        ``run_signature()`` and exists for differential testing and
+        perf measurement."""
+        return MachineConfig(self.clusters, self.interconnect, self.memory,
+                             self.arbitration, self.memory_size, self.seed,
+                             name=self.name, op_cache=self.op_cache,
+                             max_active_threads=self.max_active_threads,
+                             fault_plan=self.fault_plan, engine=self.engine,
+                             fusion=fusion)
 
     def schedule_signature(self):
         """Hashable summary of everything the *compiler* depends on;
@@ -221,7 +244,8 @@ class MachineConfig:
         and the fault plan — must participate; ``name`` and other
         cosmetics must not.  ``engine`` is deliberately excluded: the
         event and scan kernels are bit-identical, so results cache
-        across the toggle."""
+        across the toggle — and so is ``fusion``, for the same
+        reason."""
         fault_sig = None
         if self.fault_plan is not None:
             fault_sig = (self.fault_plan.reroute, self.fault_plan.events)
@@ -233,9 +257,10 @@ class MachineConfig:
     def describe(self):
         """Human-readable summary (one line per cluster)."""
         lines = ["machine %s: %d clusters, interconnect=%s, memory=%s, "
-                 "engine=%s"
+                 "engine=%s, fusion=%s"
                  % (self.name, self.n_clusters, self.interconnect.scheme,
-                    self.memory.name, self.engine)]
+                    self.memory.name, self.engine,
+                    "on" if self.fusion else "off")]
         for index, cluster in enumerate(self.clusters):
             kinds = ", ".join("%s(lat=%d)" % (u.kind, u.latency)
                               for u in cluster.units)

@@ -33,6 +33,7 @@ is bit-identical to the scan kernel; ``tests/property`` enforces this.
 """
 
 import copy
+from collections import defaultdict
 from heapq import heappop, heappush
 
 from ..errors import SimulationError
@@ -75,6 +76,13 @@ class EventNode(Node):
         self._direct_wb = (self.network.unrestricted
                            and self.injector is None)
         self._use_opcache = config.op_cache is not None
+        # Superblock fusion (see repro.sim.predecode): compiled
+        # straight-line runs may only be dispatched under conditions
+        # where their static schedule is provably exact — fully
+        # connected network, no fault plan (both implied by direct
+        # writeback), and no observer expecting per-issue callbacks.
+        self._fusion = (getattr(config, "fusion", True)
+                        and self._direct_wb and observer is None)
         self._adv_any = False        # some thread may advance this cycle
         # Arbiter scan order, rebuilt only when membership changes.
         self._order = []
@@ -93,14 +101,15 @@ class EventNode(Node):
 
     def _reset_issue_counters(self):
         self._issued_counts = [0] * len(self._units_list)
-        self._issued_tids = {}
+        self._issued_tids = defaultdict(int)
         self._arb_losses = 0
         self._wb_grants_batch = 0
 
     # -- program load ----------------------------------------------------
 
     def _prepare(self, program):
-        self._decoded = decode_program(program, self._unit_index)
+        self._decoded = decode_program(program, self._unit_index,
+                                       self.config)
 
     def spawn(self, thread_program, bindings=(), priority=None):
         thread = super().spawn(thread_program, bindings, priority)
@@ -131,16 +140,17 @@ class EventNode(Node):
             elif plan.is_bru:
                 self._resolve_plan_control(thread, payload)
             elif direct:
-                pairs = plan.dest_pairs
-                if pairs:
+                triples = plan.dest_triples
+                if triples:
                     frames = thread.frames
-                    for cluster, reg in pairs:
+                    for cluster, reg, bit in triples:
                         frame = frames.get(cluster)
                         if frame is None:
                             frame = thread.frame(cluster)
                         frame._values[reg] = payload
-                        frame._invalid.discard(reg)
-                    wrote += len(pairs)
+                        frame._invalid &= ~bit
+                        frame._used |= bit
+                    wrote += len(triples)
                     thread.parked = False
             else:
                 op = plan.op
@@ -185,7 +195,9 @@ class EventNode(Node):
                         if frame is None:
                             frame = thread.frame(dest.cluster)
                         frame._values[dest.index] = value
-                        frame._invalid.discard(dest.index)
+                        bit = 1 << dest.index
+                        frame._invalid &= ~bit
+                        frame._used |= bit
                     if dests:
                         wrote += len(dests)
                         thread.parked = False
@@ -236,7 +248,9 @@ class EventNode(Node):
                             frame = thread.frame(dest.cluster)
                         reg = dest.index
                         frame._values[reg] = value
-                        frame._invalid.discard(reg)
+                        bit = 1 << reg
+                        frame._invalid &= ~bit
+                        frame._used |= bit
                     wrote += len(entry.dests)
                     thread.parked = False
                 self._wb_count -= len(entries)
@@ -331,6 +345,7 @@ class EventNode(Node):
         self._fault_stalled = False
         injector = self.injector
         use_cache = self._use_opcache
+        plain = injector is None and not use_cache
         cycle = self.cycle
         units = self._units_list
         counts = self._issued_counts
@@ -350,47 +365,59 @@ class EventNode(Node):
             # element is safe without a copy (the common case).
             plans = pending if len(pending) == 1 else list(pending)
             for plan in plans:
-                ready = True
-                for cluster, indices in plan.wait_groups:
-                    frame = frames.get(cluster)
-                    if frame is not None:
-                        invalid = frame._invalid
-                        if invalid:
-                            for index in indices:
-                                if index in invalid:
-                                    ready = False
-                                    break
-                            if not ready:
-                                break
-                if not ready:
-                    continue
-                unit = units[plan.unit_index]
-                if injector is not None \
-                        and injector.unit_offline(plan.uid, cycle):
-                    unit = self._reroute_target(unit, claimed)
-                    if unit is None:
-                        self.stats.fault_issue_stalls += 1
-                        self._fault_stalled = True
+                single = plan.single_wait
+                if single is not None:
+                    frame = frames.get(single[0])
+                    if frame is not None and frame._invalid & single[1]:
                         continue
-                if use_cache:
-                    cache = unit.opcache
-                    if cache is not None \
-                            and not cache.ready(thread, cycle):
-                        # Operation-cache fill in progress: a timed wake.
-                        if can_park:
-                            fill = cache.fill_ready_cycle(thread)
-                            if fill is None:
-                                can_park = False
-                            elif wake is None or fill < wake:
-                                wake = fill
+                else:
+                    ready = True
+                    for cluster, mask in plan.wait_groups:
+                        frame = frames.get(cluster)
+                        if frame is not None and frame._invalid & mask:
+                            ready = False
+                            break
+                    if not ready:
                         continue
-                index = unit.index
-                if index in claimed:
-                    self._arb_losses += 1
-                    can_park = False
-                    continue
-                if index != plan.unit_index:
-                    self.stats.fault_reroutes += 1
+                if plain:
+                    # No fault plan and no operation cache: the home
+                    # unit is the only candidate, so the claim check
+                    # needs no unit lookup at all.
+                    index = plan.unit_index
+                    if index in claimed:
+                        self._arb_losses += 1
+                        can_park = False
+                        continue
+                    unit = units[index]
+                else:
+                    unit = units[plan.unit_index]
+                    if injector is not None \
+                            and injector.unit_offline(plan.uid, cycle):
+                        unit = self._reroute_target(unit, claimed)
+                        if unit is None:
+                            self.stats.fault_issue_stalls += 1
+                            self._fault_stalled = True
+                            continue
+                    if use_cache:
+                        cache = unit.opcache
+                        if cache is not None \
+                                and not cache.ready(thread, cycle):
+                            # Operation-cache fill in progress: a timed
+                            # wake.
+                            if can_park:
+                                fill = cache.fill_ready_cycle(thread)
+                                if fill is None:
+                                    can_park = False
+                                elif wake is None or fill < wake:
+                                    wake = fill
+                            continue
+                    index = unit.index
+                    if index in claimed:
+                        self._arb_losses += 1
+                        can_park = False
+                        continue
+                    if index != plan.unit_index:
+                        self.stats.fault_reroutes += 1
                 self._issue_plan(unit, thread, plan, cycle)
                 counts[index] += 1
                 claimed.add(index)
@@ -418,18 +445,42 @@ class EventNode(Node):
             return candidate
         return None
 
-    def _issue_plan(self, unit, thread, plan, cycle):
-        frames = thread.frames
+    def _gather_values(self, plan, frames):
         template = plan.values_template
         if template is None:
-            values = []
-        else:
-            values = template[:]
-            for pos, cluster, index in plan.src_fields:
-                frame = frames.get(cluster)
-                values[pos] = frame._values.get(index, 0) \
-                    if frame is not None else 0
-        if plan.is_memory:
+            return []
+        values = template[:]
+        for pos, cluster, index in plan.src_fields:
+            frame = frames.get(cluster)
+            if frame is None:
+                values[pos] = 0
+            else:
+                stored = frame._values
+                values[pos] = stored[index] \
+                    if index < len(stored) else 0
+        return values
+
+    def _issue_plan(self, unit, thread, plan, cycle):
+        frames = thread.frames
+        ex = plan.exec_fn
+        if ex is not None:            # compute op, specialized gather
+            try:
+                payload = ex(frames)
+            except ArithmeticError as exc:
+                values = self._gather_values(plan, frames)
+                raise SimulationError(
+                    "thread %s: %s%r raised %s at cycle %d"
+                    % (thread.name, plan.name, tuple(values), exc, cycle))
+        elif not plan.is_memory and not plan.is_bru:
+            values = self._gather_values(plan, frames)
+            try:
+                payload = plan.semantics(*values)
+            except ArithmeticError as exc:
+                raise SimulationError(
+                    "thread %s: %s%r raised %s at cycle %d"
+                    % (thread.name, plan.name, tuple(values), exc, cycle))
+        elif plan.is_memory:
+            values = self._gather_values(plan, frames)
             if plan.is_load:
                 addr = int(values[0]) + int(values[1])
                 payload = MemRequest(thread, plan.op, unit.slot, addr,
@@ -438,16 +489,21 @@ class EventNode(Node):
                 addr = int(values[1]) + int(values[2])
                 payload = MemRequest(thread, plan.op, unit.slot, addr,
                                      store_value=values[0], spec=plan.spec)
-        elif plan.is_bru:
+        else:
             control = plan.control
+            if control == "brt" or control == "brf":
+                values = self._gather_values(plan, frames)
             if control == "fork":
                 bindings = []
                 for child_reg, is_reg, a, b in plan.bindings_plan:
                     if is_reg:
                         frame = frames.get(a)
-                        bindings.append((child_reg,
-                                         frame._values.get(b, 0)
-                                         if frame is not None else 0))
+                        if frame is None:
+                            bindings.append((child_reg, 0))
+                        else:
+                            stored = frame._values
+                            bindings.append((child_reg, stored[b]
+                                             if b < len(stored) else 0))
                     else:
                         bindings.append((child_reg, a))
                 payload = ("fork", plan.fork_name, bindings)
@@ -460,18 +516,14 @@ class EventNode(Node):
             else:                        # br / halt
                 payload = plan.taken_payload
             thread.control_inflight = True
-        else:
-            try:
-                payload = plan.spec.semantics(*values)
-            except ArithmeticError as exc:
-                raise SimulationError(
-                    "thread %s: %s%r raised %s at cycle %d"
-                    % (thread.name, plan.name, tuple(values), exc, cycle))
-        for cluster, index in plan.dest_pairs:
+        for cluster, index, bit in plan.dest_triples:
             frame = frames.get(cluster)
             if frame is None:
                 frame = thread.frame(cluster)
-            frame._invalid.add(index)
+            stored = frame._values
+            if index >= len(stored):
+                stored.extend([0] * (index + 1 - len(stored)))
+            frame._invalid |= bit
         pending = thread.pending_plans
         pending.remove(plan)
         if not pending and not thread.control_inflight:
@@ -480,9 +532,8 @@ class EventNode(Node):
         self._pipe_seq += 1
         heappush(self._pipe, (cycle + unit.latency, unit.index,
                               self._pipe_seq, thread, plan, payload))
-        tid = thread.tid
         tids = self._issued_tids
-        tids[tid] = tids.get(tid, 0) + 1
+        tids[thread.tid] += 1
         observer = self.observer
         if observer is not None:
             observer("issue", cycle=cycle, thread=thread,
@@ -519,6 +570,7 @@ class EventNode(Node):
         pipe = self._pipe
         wake_heap = self._wake_heap
         stats = self.stats
+        fusion = self._fusion
         while True:
             cycle = self.cycle
             while wake_heap and wake_heap[0][0] <= cycle:
@@ -531,7 +583,17 @@ class EventNode(Node):
             wrote = self._write_back() if self._wb_count else 0
             if self._adv_any or self._spawn_queue:
                 self._advance_threads()
-            issued = self._issue()
+            issued = 0
+            if fusion and not pipe and not wake_heap \
+                    and not self._wb_count and not self._spawn_queue \
+                    and len(self.active) == 1:
+                end = self._try_fuse(cycle, max_cycles, watchdog_cycles,
+                                     pause_at)
+                if end is not None:
+                    cycle = end
+                    issued = 1
+            if not issued:
+                issued = self._issue()
             cycle += 1
             self.cycle = cycle
             stats.cycles = cycle
@@ -601,6 +663,48 @@ class EventNode(Node):
                         self.ffwd_cycles += delta
         return SimResult(self.stats, self.memory, self._program,
                          self.config, self.finished + self.active)
+
+    def _try_fuse(self, cycle, max_cycles, watchdog_cycles, pause_at):
+        """Dispatch a compiled superblock if every guard holds.
+
+        Called with the pipeline, wake queue, writeback buffers, and
+        spawn queue empty and exactly one active thread, so the machine
+        state a block's static schedule assumes is fully determined by
+        the remaining guards: the thread is at a block entry with its
+        word un-issued, the memory system is quiescent, every register
+        presence bit is valid, and (with an operation cache) every line
+        the block touches is resident.  Returns the new current cycle,
+        or None to fall back to the interpreted path.
+        """
+        thread = self.active[0]
+        if thread.parked or thread.control_inflight:
+            return None
+        decoded = thread.decoded
+        if decoded is None or decoded.blocks is None:
+            return None
+        block = decoded.blocks.get(thread.ip)
+        if block is None \
+                or len(thread.pending_plans) != block.n_plans:
+            return None
+        if not self.memory.idle():
+            return None
+        span = block.last_rel + 1
+        if cycle + span >= max_cycles:
+            return None
+        if watchdog_cycles is not None and watchdog_cycles <= span:
+            return None
+        if pause_at is not None and pause_at <= cycle + block.last_rel:
+            return None
+        for frame in thread.frames.values():
+            if frame._invalid:
+                return None
+        if self._use_opcache:
+            units = self._units_list
+            for index, key in block.cache_checks:
+                cache = units[index].opcache
+                if cache is not None and key not in cache._lines:
+                    return None
+        return block.fn(self, thread, cycle)
 
     def _any_fills(self):
         if self.config.op_cache is None:

@@ -17,16 +17,32 @@ the original ``Operation`` objects (``plan.op``) so observers, memory
 requests, and diagnostics show the exact objects the scan kernel would.
 """
 
+import math
+from heapq import heappush
+
 from ..errors import SimulationError
 from ..isa.operations import UnitClass
+from .memory import MemRequest
+
+#: Intern table for the small tuples predecoding mints over and over —
+#: operand field triples, destination pairs, wait-group entries.  A big
+#: program reuses the same few hundred shapes thousands of times;
+#: interning keeps one object per shape (less memory, better cache
+#: locality in the issue loop).
+_INTERN = {}
+
+
+def _intern(value):
+    return _INTERN.setdefault(value, value)
 
 
 class SlotPlan:
     """Everything the issue path needs about one operation, resolved."""
 
     __slots__ = ("uid", "unit_index", "op", "spec", "name",
-                 "wait_groups", "src_fields", "values_template",
-                 "dest_pairs", "is_memory", "is_load", "is_bru",
+                 "wait_groups", "single_wait", "src_fields",
+                 "values_template", "dest_pairs", "dest_triples",
+                 "semantics", "exec_fn", "is_memory", "is_load", "is_bru",
                  "control", "taken_payload", "untaken_payload",
                  "fork_name", "bindings_plan")
 
@@ -41,18 +57,18 @@ class SlotPlan:
         self.is_load = spec.is_load
         self.is_bru = spec.unit is UnitClass.BRU
         # Presence-bit wait set: every register the op reads plus every
-        # register it writes (WAW interlock), grouped by cluster so the
-        # hot loop does one frame lookup per cluster.
+        # register it writes (WAW interlock), grouped by cluster as an
+        # integer bitmask so the hot loop's readiness test is one frame
+        # lookup and one AND per cluster.
         groups = {}
-        seen = set()
         for reg in list(op.source_regs()) + list(op.dests):
-            key = (reg.cluster, reg.index)
-            if key in seen:
-                continue
-            seen.add(key)
-            groups.setdefault(reg.cluster, []).append(reg.index)
-        self.wait_groups = tuple((cluster, tuple(indices))
-                                 for cluster, indices in groups.items())
+            groups[reg.cluster] = groups.get(reg.cluster, 0) | (1 << reg.index)
+        self.wait_groups = _intern(tuple(sorted(groups.items())))
+        # The overwhelmingly common single-cluster case, unpacked so the
+        # issue loop's readiness test needs no iteration at all.
+        self.single_wait = self.wait_groups[0] \
+            if len(self.wait_groups) == 1 else None
+        self.semantics = spec.semantics
         # Operand fetch: immediates are baked into the template, register
         # reads recorded as (position, cluster, index) patches.
         if op.srcs:
@@ -61,15 +77,19 @@ class SlotPlan:
             for pos, src in enumerate(op.srcs):
                 if hasattr(src, "cluster"):
                     template.append(None)
-                    fields.append((pos, src.cluster, src.index))
+                    fields.append(_intern((pos, src.cluster, src.index)))
                 else:
                     template.append(src.value)
             self.values_template = template
-            self.src_fields = tuple(fields)
+            self.src_fields = _intern(tuple(fields))
         else:
             self.values_template = None
             self.src_fields = ()
-        self.dest_pairs = tuple((d.cluster, d.index) for d in op.dests)
+        self.dest_pairs = _intern(tuple(
+            _intern((d.cluster, d.index)) for d in op.dests))
+        self.dest_triples = _intern(tuple(
+            _intern((d.cluster, d.index, 1 << d.index))
+            for d in op.dests))
         # Control: resolve branch targets and fork wiring now, so issue
         # builds payloads from plain tuples.
         self.control = None
@@ -97,6 +117,132 @@ class SlotPlan:
                 self.control = op.name
                 self.taken_payload = ("jump", target)
                 self.untaken_payload = ("jump", None)
+        # Compute slots (ALU/FPU) get a gather-and-evaluate closure
+        # specialized on operand shape; the kernel's issue path calls
+        # it instead of the generic template-patching loop.
+        self.exec_fn = None
+        if not self.is_memory and not self.is_bru:
+            self.exec_fn = _make_exec_fn(self)
+
+    def __reduce__(self):
+        # semantics and exec_fn are (closures over) lambdas and cannot
+        # cross process boundaries; both are pure functions of the
+        # remaining state, so rebuild them on unpickle.
+        state = {name: getattr(self, name) for name in self.__slots__
+                 if name not in ("semantics", "exec_fn")}
+        return (_rebuild_slot_plan, (state,))
+
+    def wait_registers(self):
+        """The (cluster, index) pairs this op waits on (decoded from the
+        per-cluster masks; tests and diagnostics)."""
+        pairs = []
+        for cluster, mask in self.wait_groups:
+            index = 0
+            while mask:
+                if mask & 1:
+                    pairs.append((cluster, index))
+                mask >>= 1
+                index += 1
+        return pairs
+
+
+def _rebuild_slot_plan(state):
+    plan = SlotPlan.__new__(SlotPlan)
+    for name, value in state.items():
+        setattr(plan, name, value)
+    plan.semantics = plan.spec.semantics
+    plan.exec_fn = None
+    if not plan.is_memory and not plan.is_bru:
+        plan.exec_fn = _make_exec_fn(plan)
+    return plan
+
+
+def _make_exec_fn(plan):
+    """A specialized closure for a compute plan: read the (hardcoded)
+    operands out of the thread's register frames and apply the opcode
+    semantics in one call.  Covers the operand shapes the compiler
+    actually emits (arity <= 2); returns None for anything else, which
+    falls back to the kernel's generic template-patching path.
+
+    The closures read exactly the registers the generic path reads, in
+    the same order, and perform no writes — on an ArithmeticError the
+    kernel regathers the operands generically for the error report and
+    gets identical values.
+    """
+    sem = plan.semantics
+    template = plan.values_template
+    if template is None:
+        return lambda frames: sem()
+    fields = plan.src_fields
+    arity = len(template)
+    if not fields:
+        if arity == 1:
+            k0 = template[0]
+            return lambda frames: sem(k0)
+        if arity == 2:
+            k0, k1 = template
+            return lambda frames: sem(k0, k1)
+        return None
+    if arity == 1:
+        __, c0, i0 = fields[0]
+
+        def unary(frames):
+            frame = frames.get(c0)
+            if frame is None:
+                return sem(0)
+            stored = frame._values
+            return sem(stored[i0] if i0 < len(stored) else 0)
+        return unary
+    if arity != 2:
+        return None
+    if len(fields) == 2:
+        (__, c0, i0), (__, c1, i1) = fields
+        if c0 == c1:
+            def reg_reg_same(frames):
+                frame = frames.get(c0)
+                if frame is None:
+                    return sem(0, 0)
+                stored = frame._values
+                n = len(stored)
+                return sem(stored[i0] if i0 < n else 0,
+                           stored[i1] if i1 < n else 0)
+            return reg_reg_same
+
+        def reg_reg(frames):
+            frame = frames.get(c0)
+            if frame is None:
+                a = 0
+            else:
+                stored = frame._values
+                a = stored[i0] if i0 < len(stored) else 0
+            frame = frames.get(c1)
+            if frame is None:
+                b = 0
+            else:
+                stored = frame._values
+                b = stored[i1] if i1 < len(stored) else 0
+            return sem(a, b)
+        return reg_reg
+    pos, c0, i0 = fields[0]
+    if pos == 0:
+        k1 = template[1]
+
+        def reg_imm(frames):
+            frame = frames.get(c0)
+            if frame is None:
+                return sem(0, k1)
+            stored = frame._values
+            return sem(stored[i0] if i0 < len(stored) else 0, k1)
+        return reg_imm
+    k0 = template[0]
+
+    def imm_reg(frames):
+        frame = frames.get(c0)
+        if frame is None:
+            return sem(k0, 0)
+        stored = frame._values
+        return sem(k0, stored[i0] if i0 < len(stored) else 0)
+    return imm_reg
 
 
 class WordPlan:
@@ -110,16 +256,22 @@ class WordPlan:
 
 
 class DecodedThread:
-    """The predecoded form of one thread program."""
+    """The predecoded form of one thread program.
 
-    __slots__ = ("name", "words")
+    ``blocks`` maps superblock entry word indexes to compiled
+    :class:`BlockPlan` closures (None when fusion was not requested at
+    decode time).
+    """
 
-    def __init__(self, name, words):
+    __slots__ = ("name", "words", "blocks")
+
+    def __init__(self, name, words, blocks=None):
         self.name = name
         self.words = tuple(words)
+        self.blocks = blocks
 
 
-def decode_program(program, unit_index):
+def decode_program(program, unit_index, config=None):
     """Predecode every thread of ``program``.
 
     ``unit_index`` maps unit ids to their position in the node's unit
@@ -127,7 +279,12 @@ def decode_program(program, unit_index):
     Assumes the program already passed
     :func:`~repro.sim.loader.validate_program` against the same
     machine (every uid present, no empty words).
+
+    When ``config`` is given and its ``fusion`` toggle is on, each
+    thread's straight-line runs are additionally compiled into
+    :class:`BlockPlan` superblocks (see :func:`compile_blocks`).
     """
+    fuse = config is not None and getattr(config, "fusion", True)
     decoded = {}
     for name, thread_program in program.threads.items():
         words = []
@@ -138,5 +295,758 @@ def decode_program(program, unit_index):
                 raise SimulationError("thread %r word %d is empty"
                                       % (name, index))
             words.append(WordPlan(plans))
-        decoded[name] = DecodedThread(name, words)
+        thread = DecodedThread(name, words)
+        if fuse:
+            thread.blocks = compile_blocks(thread, config)
+        decoded[name] = thread
     return decoded
+
+
+# ---------------------------------------------------------------------------
+# Superblock fusion
+# ---------------------------------------------------------------------------
+#
+# A *superblock* is a maximal straight-line run of instruction words —
+# no branch-unit slots except an optional terminal one, no
+# synchronizing or miss-capable memory operations — whose intra-run
+# dependences the static scheduler below can resolve exactly.  Each run
+# is compiled, at decode time, into one specialized Python closure (a
+# :class:`BlockPlan`) that replays the event kernel's entire
+# cycle-by-cycle execution of the run in a single call: operand flow
+# through flat SSA locals, per-run cycle cost precomputed, statistics
+# and memory effects committed in bulk.
+#
+# The closure is only entered when the kernel's guards hold (single
+# runnable thread, fully connected interconnect, no fault plan, every
+# entry presence bit valid, the memory system idle, operation-cache
+# lines resident); under those guards the event kernel's behaviour over
+# the run is a pure function of the entry register/memory state, which
+# is what the static schedule exploits.  Anything the schedule cannot
+# prove (same-address memory collisions, out-of-range addresses,
+# arithmetic faults) is checked at run time *before any state is
+# mutated*; the closure then returns None and the kernel falls back to
+# the interpreted word-by-word path, which reproduces the exact
+# cycle-level behaviour — including the exact error, if any.
+
+_MAX_BLOCK_OPS = 512          # codegen size cap per superblock
+_MIN_BLOCK_OPS = 2            # fusing smaller runs doesn't pay
+
+_FUSIBLE_BRANCHES = ("br", "brt", "brf", "halt")
+
+# Inline source templates for registry semantics whose Python spelling
+# is trivially equivalent to the registry lambda (operations.py).
+_INT2_OPS = {"iadd": "+", "isub": "-", "imul": "*", "iand": "&",
+             "ior": "|", "ixor": "^", "ishl": "<<", "ishr": ">>"}
+_FLT2_OPS = {"fadd": "+", "fsub": "-", "fmul": "*", "fdiv": "/"}
+_CMP_OPS = {"ieq": "==", "ine": "!=", "ilt": "<", "ile": "<=",
+            "igt": ">", "ige": ">=", "feq": "==", "fne": "!=",
+            "flt": "<", "fle": "<=", "fgt": ">", "fge": ">="}
+
+
+class BlockPlan:
+    """One compiled superblock.
+
+    ``fn(node, thread, cycle)`` executes the whole run and returns the
+    absolute cycle of its last issue (the kernel's new current cycle),
+    or None when a run-time guard failed and the caller must fall back
+    to the interpreted path.  ``last_rel`` is the run's span in cycles
+    relative to entry; ``n_plans`` the entry word's slot count (the
+    dispatch check that the word is fully un-issued); ``cache_checks``
+    the (unit index, line key) pairs that must be resident when an
+    operation cache is configured.
+    """
+
+    __slots__ = ("entry_ip", "word_ips", "n_plans", "n_ops", "last_rel",
+                 "cache_checks", "fn", "source")
+
+    def __init__(self, entry_ip, word_ips, n_plans, n_ops, last_rel,
+                 cache_checks, fn, source):
+        self.entry_ip = entry_ip
+        self.word_ips = word_ips
+        self.n_plans = n_plans
+        self.n_ops = n_ops
+        self.last_rel = last_rel
+        self.cache_checks = cache_checks
+        self.fn = fn
+        self.source = source
+
+
+class _Rec:
+    """One operation's slot in the static schedule of a run."""
+
+    __slots__ = ("plan", "ip", "word_pos", "slot_pos", "t", "ready",
+                 "unit_index", "kind", "rank", "submit", "apply_c",
+                 "arrival", "committed", "var", "val_expr", "cond_var")
+
+
+def _entry_points(words):
+    """Superblock entry word indexes: word 0, every branch target, and
+    the word after every control word."""
+    entries = {0}
+    for ip, word in enumerate(words):
+        for plan in word.plans:
+            if plan.is_bru:
+                entries.add(ip + 1)
+                if plan.control in ("br", "brt", "brf"):
+                    target = plan.taken_payload[1]
+                    if target is not None:
+                        entries.add(target)
+    return entries
+
+
+def _word_fusible(word, mem_ok):
+    """Whether a word can live inside a run; returns (ok, terminal_bru).
+    A fusible word holds no control slot except possibly one plain
+    branch/halt (which ends the run), and no memory operation other
+    than non-synchronizing ld/st on a miss-free memory model."""
+    bru = None
+    for plan in word.plans:
+        if plan.is_bru:
+            if plan.control not in _FUSIBLE_BRANCHES or bru is not None:
+                return False, None
+            bru = plan
+        elif plan.is_memory:
+            if not mem_ok or plan.name not in ("ld", "st"):
+                return False, None
+    return True, bru
+
+
+def _build_run(words, start, mem_ok):
+    """The maximal fusible run starting at ``start``, as a list of
+    (ip, word, terminal_bru) triples — or None when the run is too
+    small to pay for fusing."""
+    run = []
+    n_ops = 0
+    ip = start
+    while ip < len(words):
+        ok, bru = _word_fusible(words[ip], mem_ok)
+        if not ok or n_ops + len(words[ip].plans) > _MAX_BLOCK_OPS:
+            break
+        run.append((ip, words[ip], bru))
+        n_ops += len(words[ip].plans)
+        ip += 1
+        if bru is not None:
+            break
+    if not run or n_ops < _MIN_BLOCK_OPS:
+        return None
+    return run
+
+
+#: A run is compiled only once the kernel has reached its entry this
+#: many times with every dispatch guard holding.  Compiling a block
+#: costs a few hundred microseconds per operation (codegen + CPython
+#: ``compile``) while a dispatch saves a few microseconds per
+#: operation, so break-even sits at a few dozen dispatches; entries
+#: reached once (straight-line cold code, "ideal"-mode megablocks) or
+#: only a handful of times never pay the compile, while hot loop
+#: headers cross the threshold early in their trip count.
+_WARMUP_DISPATCHES = 16
+
+
+class BlockTable:
+    """Lazy superblock compiler for one decoded thread.
+
+    Entry points are discovered eagerly (cheap), but a run is scheduled
+    and compiled only once the kernel has dispatched at its entry
+    :data:`_WARMUP_DISPATCHES` times — most entries are never reached
+    with the machine in a fusible state (or reached exactly once), and
+    eager compilation was measurably slower than interpreting short
+    benchmarks outright.  Compilation is deterministic, so the cache
+    can be shared freely between a node, its snapshots, and restored
+    copies; pickling drops the cache and recompiles on demand (closures
+    do not cross process boundaries).
+    """
+
+    __slots__ = ("_decoded", "_config", "_entries", "_mem_ok", "_cache",
+                 "_heat")
+
+    def __init__(self, decoded, config):
+        # Nothing here may touch ``decoded``: it is mid-reconstruction
+        # when a pickle rebuilds the decoded-thread <-> block-table
+        # cycle.  Entry discovery happens on first dispatch instead.
+        self._decoded = decoded
+        self._config = config
+        self._mem_ok = None
+        self._entries = None
+        self._cache = {}
+        self._heat = {}
+
+    def get(self, ip):
+        block = self._cache.get(ip, False)
+        if block is not False:
+            return block
+        if self._entries is None:
+            self._mem_ok = self._config.memory.miss_rate == 0.0
+            self._entries = _entry_points(self._decoded.words)
+        if ip not in self._entries:
+            self._cache[ip] = None
+            return None
+        heat = self._heat.get(ip, 0) + 1
+        if heat < _WARMUP_DISPATCHES:
+            self._heat[ip] = heat
+            return None
+        block = None
+        words = self._decoded.words
+        if ip < len(words):
+            run = _build_run(words, ip, self._mem_ok)
+            if run is not None:
+                block = _compile_run(self._decoded.name, ip, run,
+                                     self._config)
+        self._cache[ip] = block
+        return block
+
+    def compiled_blocks(self):
+        """The blocks compiled so far (diagnostics and tests)."""
+        return {ip: block for ip, block in self._cache.items()
+                if block is not None}
+
+    def __deepcopy__(self, memo):
+        # Compilation is deterministic and closures never carry run
+        # state, so snapshots share the table with the live node.
+        return self
+
+    def __reduce__(self):
+        return (BlockTable, (self._decoded, self._config))
+
+
+def compile_blocks(decoded, config):
+    """A lazy :class:`BlockTable` over every fusible run of
+    ``decoded``, keyed by entry word index."""
+    return BlockTable(decoded, config)
+
+
+def _int_src(src):
+    """Source text for ``int(value)`` of an (expr, is_int) operand."""
+    expr, is_int = src
+    return expr if is_int else "int(%s)" % expr
+
+
+def _const_expr(value, ns, counter):
+    """Source text for a baked immediate, as an (expr, is_int) pair.
+    Values whose repr does not round-trip exactly are bound into the
+    closure's namespace instead of inlined."""
+    if type(value) is int:
+        return repr(value), True
+    if type(value) is float and math.isfinite(value):
+        return repr(value), False
+    name = "k%d" % counter[0]
+    counter[0] += 1
+    ns[name] = value
+    return name, False
+
+
+def _semantics_expr(plan, srcs, ns, rank):
+    """Python source computing ``plan.spec.semantics(*values)``.  Ops
+    with no trivially equivalent inline spelling bind the registry
+    callable itself, so the closure can never drift from operations.py.
+    """
+    name = plan.name
+    sym = _INT2_OPS.get(name)
+    if sym is not None:
+        return "(%s %s %s)" % (_int_src(srcs[0]), sym, _int_src(srcs[1]))
+    sym = _CMP_OPS.get(name)
+    if sym is not None:                  # _bool compares raw operands
+        return "(1 if %s %s %s else 0)" % (srcs[0][0], sym, srcs[1][0])
+    sym = _FLT2_OPS.get(name)
+    if sym is not None:
+        return "(float(%s) %s float(%s))" % (srcs[0][0], sym, srcs[1][0])
+    if name in ("imov", "fmov"):
+        return srcs[0][0]
+    if name == "ineg":
+        return "(-%s)" % _int_src(srcs[0])
+    if name == "inot":
+        return "(~%s)" % _int_src(srcs[0])
+    if name in ("imin", "imax"):
+        return "%s(%s, %s)" % (name[1:], _int_src(srcs[0]),
+                               _int_src(srcs[1]))
+    if name == "fneg":
+        return "(-float(%s))" % srcs[0][0]
+    if name == "fabs":
+        return "abs(float(%s))" % srcs[0][0]
+    if name in ("fmin", "fmax"):
+        return "%s(float(%s), float(%s))" % (name[1:], srcs[0][0],
+                                             srcs[1][0])
+    if name == "itof":
+        return "float(%s)" % srcs[0][0]
+    if name == "ftoi":
+        return "int(%s)" % srcs[0][0]
+    if name == "fsqrt":
+        ns["_sqrt"] = math.sqrt
+        return "_sqrt(float(%s))" % srcs[0][0]
+    key = "s%d" % rank                   # idiv, imod, future opcodes
+    ns[key] = plan.spec.semantics
+    return "%s(%s)" % (key, ", ".join(expr for expr, __ in srcs))
+
+
+def _compile_run(thread_name, start, run, config):
+    """Statically schedule one run and compile it to a closure.
+
+    The schedule replays the kernel's issue dynamics exactly: all slots
+    of a word activate together when the previous word's last slot has
+    issued; each cycle the pending slots are scanned in slot order and
+    issue once their wait registers are all valid; issuing makes the
+    destinations invalid until the result lands (ALU: end of the unit
+    pipeline; load: the memory apply cycle).  ``valid_at`` maps
+    registers to the block-relative cycle their presence bit is
+    (re)set — absent means valid since entry, which the dispatch guard
+    establishes.
+    """
+    unit_by_id = config.unit_by_id
+    hit_latency = config.memory.hit_latency
+
+    valid_at = {}
+    recs = []
+    t_word = 0
+    terminal = None
+    for word_pos, (ip, word, bru) in enumerate(run):
+        pending = []
+        for slot_pos, plan in enumerate(word.plans):
+            rec = _Rec()
+            rec.plan = plan
+            rec.ip = ip
+            rec.word_pos = word_pos
+            rec.slot_pos = slot_pos
+            rec.unit_index = plan.unit_index
+            rec.val_expr = None
+            rec.cond_var = None
+            rec.var = None
+            pending.append(rec)
+            recs.append(rec)
+        t = t_word
+        while pending:
+            remaining = []
+            next_t = None
+            for rec in pending:
+                plan = rec.plan
+                wait = t
+                for pair in plan.wait_registers():
+                    when = valid_at.get(pair, 0)
+                    if when > wait:
+                        wait = when
+                if wait <= t:
+                    rec.t = t
+                    rec.ready = t + unit_by_id[plan.uid].latency
+                    if plan.is_memory:
+                        rec.kind = "mem"
+                        rec.submit = rec.ready
+                        rec.apply_c = rec.ready + hit_latency - 1
+                        if plan.is_load:
+                            for pair in plan.dest_pairs:
+                                valid_at[pair] = rec.apply_c
+                    elif plan.is_bru:
+                        rec.kind = "bru"
+                        terminal = rec
+                    elif plan.dest_pairs:
+                        rec.kind = "alu"
+                        for pair in plan.dest_pairs:
+                            valid_at[pair] = rec.ready
+                    else:
+                        rec.kind = "sink"
+                else:
+                    remaining.append(rec)
+                    if next_t is None or wait < next_t:
+                        next_t = wait
+            pending = remaining
+            if pending:
+                # Presence bits only ever *become* valid at scheduled
+                # cycles, so jumping to the earliest one is exact.
+                t = next_t
+        t_word = max(r.t for r in recs[-len(word.plans):]) + 1
+    last_rel = max(r.t for r in recs)
+
+    # Issue order: one word active at a time, pending list scanned in
+    # slot order — so (cycle, word, slot) is the kernel's exact order.
+    issue_order = sorted(recs, key=_issue_key)
+    for rank, rec in enumerate(issue_order):
+        rec.rank = rank
+
+    # Classify each op against the block's last issue cycle: fully
+    # committed inside the block, or a tail the real machinery finishes.
+    for rec in recs:
+        if rec.kind == "mem":
+            rec.committed = rec.apply_c <= last_rel
+        else:
+            rec.committed = rec.ready <= last_rel
+
+    # Memory arrival order: submits are pipe pops, ordered
+    # (cycle, unit index, seq) — seq follows issue rank.
+    arriving = sorted((r for r in recs
+                       if r.kind == "mem" and r.submit <= last_rel),
+                      key=_arrival_key)
+    for arrival, rec in enumerate(arriving):
+        rec.arrival = arrival
+
+    # Same-address service windows overlapping a *committed* access
+    # would queue — which the bulk counters do not model — so those
+    # pairs get a run-time distinctness check.  Pairs of tail submits
+    # go through the real submit path and need none.
+    pairs = []
+    for i, first in enumerate(arriving):
+        if not first.committed:
+            continue
+        for second in arriving[i + 1:]:
+            if second.submit <= first.apply_c:
+                pairs.append((first, second))
+            else:
+                break
+    return _emit_block(thread_name, start, run, config, recs, issue_order,
+                       arriving, pairs, terminal, last_rel)
+
+
+def _issue_key(rec):
+    return (rec.t, rec.word_pos, rec.slot_pos)
+
+
+def _arrival_key(rec):
+    return (rec.submit, rec.unit_index, rec.rank)
+
+
+def _emit_block(thread_name, start, run, config, recs, issue_order,
+                arriving, pairs, terminal, last_rel):
+    """Generate, compile, and wrap the closure for one scheduled run.
+
+    The closure body has two halves.  The *compute* half (inside a
+    ``try``) evaluates every operation in the exact event order of the
+    real kernel — commits at phase 1/2 before issues at phase 5 of the
+    same cycle — through single-assignment locals, and performs every
+    run-time guard (address range, same-address service overlap); it
+    mutates nothing, so any exception or failed guard falls back to the
+    interpreted path with the machine state untouched.  The *commit*
+    half then applies all effects: register file, memory values and
+    bulk counters, tail submits and completion-heap entries, batched
+    issue statistics, and the thread's end state.
+    """
+    mem_size = config.memory_size
+    ns = {"heappush": heappush, "MemRequest": MemRequest}
+    counter = [0]
+
+    committed_mems = [r for r in arriving if r.committed]
+    mem_tails = [r for r in arriving if not r.committed]
+    use_ov = any(r.plan.is_load for r in committed_mems) \
+        and any(not r.plan.is_load for r in committed_mems)
+
+    # Event timeline: phase 1 = ALU results land (pipe pop order:
+    # unit index then seq), phase 2 = memory applies (arrival order),
+    # phase 5 = issues (scan order).  Ranks only compare within one
+    # (cycle, phase), so the mixed int/tuple keys never meet.
+    events = []
+    for rec in recs:
+        events.append((rec.t, 5, rec.rank, rec))
+        if rec.committed:
+            if rec.kind == "alu":
+                events.append((rec.ready, 1, (rec.unit_index, rec.rank),
+                               rec))
+            elif rec.kind == "mem":
+                events.append((rec.apply_c, 2, rec.arrival, rec))
+    events.sort(key=lambda event: event[:3])
+
+    compute = []
+    entry_lines = []
+    regvar = {}          # (cluster, index) -> current SSA local
+    entry_reads = {}
+    read_clusters = set()
+    reg_commits = []     # (cluster, index, local) in landing order
+    addr_done = set()
+
+    def reg_read(cluster, index):
+        var = regvar.get((cluster, index))
+        if var is not None:
+            return var
+        var = entry_reads.get((cluster, index))
+        if var is None:
+            var = "e%d_%d" % (cluster, index)
+            entry_reads[(cluster, index)] = var
+            read_clusters.add(cluster)
+            entry_lines.append(
+                "%s = F%dv[%d] if %d < len(F%dv) else 0"
+                % (var, cluster, index, index, cluster))
+        return var
+
+    def srcs_of(plan):
+        out = []
+        if plan.values_template is None:
+            return out
+        fields = {pos: (cluster, index)
+                  for pos, cluster, index in plan.src_fields}
+        for pos, baked in enumerate(plan.values_template):
+            pair = fields.get(pos)
+            if pair is not None:
+                out.append((reg_read(*pair), False))
+            else:
+                out.append(_const_expr(baked, ns, counter))
+        return out
+
+    for __, phase, __, rec in events:
+        plan = rec.plan
+        rank = rec.rank
+        if phase == 5:
+            if rec.kind == "alu":
+                rec.var = "v%d" % rank
+                compute.append("%s = %s" % (
+                    rec.var, _semantics_expr(plan, srcs_of(plan), ns,
+                                             rank)))
+            elif rec.kind == "mem":
+                srcs = srcs_of(plan)
+                if plan.is_load:
+                    base, offset = srcs[0], srcs[1]
+                else:
+                    rec.val_expr = srcs[0][0]
+                    base, offset = srcs[1], srcs[2]
+                rec.var = "a%d" % rank
+                compute.append("%s = %s + %s" % (
+                    rec.var, _int_src(base), _int_src(offset)))
+                if rec.submit <= last_rel:
+                    compute.append("if not 0 <= %s < %d:"
+                                   % (rec.var, mem_size))
+                    compute.append("    return None")
+                    addr_done.add(rank)
+                    for first, second in pairs:
+                        if rec in (first, second):
+                            other = second if rec is first else first
+                            if other.rank in addr_done:
+                                compute.append(
+                                    "if %s == %s:" % (first.var,
+                                                      second.var))
+                                compute.append("    return None")
+            elif rec.kind == "bru":
+                srcs = srcs_of(plan)
+                if plan.control in ("brt", "brf"):
+                    rec.cond_var = srcs[0][0]
+            # sink: semantics is ``lambda a: None`` — nothing to do
+        elif phase == 1:
+            for pair in plan.dest_pairs:
+                regvar[pair] = rec.var
+                reg_commits.append((pair[0], pair[1], rec.var))
+        else:                            # phase 2: committed mem apply
+            if plan.is_load:
+                value = "v%d" % rank
+                rec.val_expr = value
+                if use_ov:
+                    compute.append(
+                        "%s = OV[%s] if %s in OV else MVg(%s, 0)"
+                        % (value, rec.var, rec.var, rec.var))
+                else:
+                    compute.append("%s = MVg(%s, 0)" % (value, rec.var))
+                for pair in plan.dest_pairs:
+                    regvar[pair] = value
+                    reg_commits.append((pair[0], pair[1], value))
+            elif use_ov:
+                compute.append("OV[%s] = %s" % (rec.var, rec.val_expr))
+
+    # ---- commit half ---------------------------------------------------
+    commit = []
+
+    # Registers: grow each touched cluster's value list (issue-time
+    # invalidation grows it in the interpreted path), land committed
+    # values in event order, then set the tail presence bits in one
+    # store — the dispatch guard proved every frame fully valid at
+    # entry, so the tail mask *is* the whole invalid mask.
+    grow = {}
+    tail_masks = {}
+    used_masks = {}
+    for rec in recs:
+        dests = rec.plan.dest_pairs
+        if rec.kind not in ("alu", "mem") or not dests:
+            continue
+        if rec.kind == "mem" and not rec.plan.is_load:
+            continue
+        for cluster, index in dests:
+            if index + 1 > grow.get(cluster, 0):
+                grow[cluster] = index + 1
+            if rec.committed:
+                used_masks[cluster] = used_masks.get(cluster, 0) \
+                    | (1 << index)
+    # A register is invalid at block end iff its last writer is a tail.
+    last_landing = {}
+    for rec in recs:
+        if rec.kind == "alu" or (rec.kind == "mem" and rec.plan.is_load):
+            landing = rec.ready if rec.kind == "alu" else rec.apply_c
+            for pair in rec.plan.dest_pairs:
+                if landing >= last_landing.get(pair, -1):
+                    last_landing[pair] = landing
+    for (cluster, index), landing in last_landing.items():
+        if landing > last_rel:
+            tail_masks[cluster] = tail_masks.get(cluster, 0) | (1 << index)
+    for cluster in sorted(grow):
+        need = grow[cluster]
+        commit.append("if len(F%dv) < %d:" % (cluster, need))
+        commit.append("    F%dv.extend([0] * (%d - len(F%dv)))"
+                      % (cluster, need, cluster))
+    for cluster, index, var in reg_commits:
+        commit.append("F%dv[%d] = %s" % (cluster, index, var))
+    for cluster in sorted(tail_masks):
+        commit.append("F%d._invalid = %d" % (cluster, tail_masks[cluster]))
+    for cluster in sorted(used_masks):
+        commit.append("F%d._used |= %d" % (cluster, used_masks[cluster]))
+
+    # Memory: bulk-advance the counters the emulated submits and
+    # services would have bumped, apply committed accesses in service
+    # order, then feed the tail submits to the real machinery (their
+    # arrival numbers follow the bulk bump, preserving FIFO keys).
+    if committed_mems:
+        count = len(committed_mems)
+        commit.append("M._arrivals += %d" % count)
+        commit.append("M._seq += %d" % count)
+        commit.append("ST.memory_accesses += %d" % count)
+        for rec in committed_mems:
+            if not rec.plan.is_load:
+                commit.append("MV[%s] = %s" % (rec.var, rec.val_expr))
+                commit.append("ME.discard(%s)" % rec.var)
+            commit.append("MT[%s] = tid" % rec.var)
+    for rec in mem_tails:
+        ns["p%d" % rec.rank] = rec.plan
+        ns["u%d" % rec.rank] = config.unit_by_id[rec.plan.uid]
+        if rec.plan.is_load:
+            request = "MemRequest(T, p%d.op, u%d, %s, spec=p%d.spec)" \
+                % (rec.rank, rec.rank, rec.var, rec.rank)
+        else:
+            request = ("MemRequest(T, p%d.op, u%d, %s, store_value=%s, "
+                       "spec=p%d.spec)" % (rec.rank, rec.rank, rec.var,
+                                           rec.val_expr, rec.rank))
+        commit.append("M.submit(%s, C0 + %d)" % (request, rec.submit))
+
+    # Completion-heap tails, pushed in issue order with the seq numbers
+    # the interpreted path would have assigned (committed ops consume
+    # theirs silently via the final bump).
+    pipe_tails = [rec for rec in issue_order
+                  if not rec.committed
+                  and not (rec.kind == "mem" and rec.submit <= last_rel)]
+    if pipe_tails:
+        commit.append("q = node._pipe_seq")
+        commit.append("P = node._pipe")
+        for rec in pipe_tails:
+            rank = rec.rank
+            ns["p%d" % rank] = rec.plan
+            if rec.kind == "alu":
+                payload = rec.var
+            elif rec.kind == "sink":
+                payload = "None"
+            elif rec.kind == "mem":
+                ns["u%d" % rank] = config.unit_by_id[rec.plan.uid]
+                if rec.plan.is_load:
+                    payload = "MemRequest(T, p%d.op, u%d, %s, spec=p%d" \
+                        ".spec)" % (rank, rank, rec.var, rank)
+                else:
+                    payload = ("MemRequest(T, p%d.op, u%d, %s, "
+                               "store_value=%s, spec=p%d.spec)"
+                               % (rank, rank, rec.var, rec.val_expr,
+                                  rank))
+            else:                        # tail BRU: payload per cond
+                control = rec.plan.control
+                if control == "brt":
+                    payload = "(p%d.taken_payload if %s else " \
+                        "p%d.untaken_payload)" % (rank, rec.cond_var,
+                                                  rank)
+                elif control == "brf":
+                    payload = "(p%d.untaken_payload if %s else " \
+                        "p%d.taken_payload)" % (rank, rec.cond_var, rank)
+                else:                    # br / halt
+                    payload = "p%d.taken_payload" % rank
+            commit.append("heappush(P, (C0 + %d, %d, q + %d, T, p%d, %s))"
+                          % (rec.ready, rec.unit_index, rank + 1, rank,
+                             payload))
+        commit.append("node._pipe_seq = q + %d" % len(recs))
+    else:
+        commit.append("node._pipe_seq += %d" % len(recs))
+
+    # Operation-cache LRU touches, one per successful issue check, in
+    # issue order (the dispatch guard proved every line resident, so
+    # the hit path's move_to_end is the only effect to replay).
+    cache_checks = ()
+    if config.op_cache is not None:
+        steps = tuple((rec.unit_index, (thread_name, rec.ip))
+                      for rec in issue_order)
+        ns["CSTEPS"] = steps
+        seen = []
+        for step in steps:
+            if step not in seen:
+                seen.append(step)
+        cache_checks = tuple(seen)
+        commit.append("UL = node._units_list")
+        commit.append("for cui, ckey in CSTEPS:")
+        commit.append("    cc = UL[cui].opcache")
+        commit.append("    if cc is not None:")
+        commit.append("        cc._lines.move_to_end(ckey)")
+
+    # Batched issue statistics.
+    unit_counts = {}
+    for rec in recs:
+        unit_counts[rec.unit_index] = unit_counts.get(rec.unit_index,
+                                                      0) + 1
+    commit.append("IC = node._issued_counts")
+    for unit_index in sorted(unit_counts):
+        commit.append("IC[%d] += %d" % (unit_index,
+                                        unit_counts[unit_index]))
+    commit.append("TI = node._issued_tids")
+    commit.append("TI[tid] = TI.get(tid, 0) + %d" % len(recs))
+    grants = sum(len(rec.plan.dest_pairs) for rec in recs
+                 if rec.committed and (rec.kind == "alu"
+                                       or (rec.kind == "mem"
+                                           and rec.plan.is_load)))
+    if grants:
+        commit.append("node._wb_grants_batch += %d" % grants)
+
+    # Thread end state.
+    commit.append("T.ip = %d" % run[-1][0])
+    commit.append("T.pending_plans = []")
+    if terminal is not None and not terminal.committed:
+        commit.append("T.control_inflight = True")
+    else:
+        if terminal is not None:
+            control = terminal.plan.control
+            target = terminal.plan.taken_payload[1] \
+                if control != "halt" else None
+            if control == "halt":
+                commit.append("T.halted = True")
+            elif control == "br":
+                commit.append("T.next_ip = %d" % target)
+            elif control == "brt":
+                commit.append("T.next_ip = %d if %s else None"
+                              % (target, terminal.cond_var))
+            else:                        # brf
+                commit.append("T.next_ip = None if %s else %d"
+                              % (terminal.cond_var, target))
+        commit.append("T.advance_ready = True")
+        commit.append("node._adv_any = True")
+    if config.arbitration == "round-robin":
+        commit.append("node.arbiter._next = tid + 1")
+    commit.append("return C0 + %d" % last_rel)
+
+    # ---- assemble ------------------------------------------------------
+    body = ["FR = T.frames", "tid = T.tid"]
+    dest_clusters = set(grow)
+    for cluster in sorted(read_clusters | dest_clusters):
+        body.append("F%d = FR.get(%d)" % (cluster, cluster))
+        if cluster in dest_clusters:
+            body.append("if F%d is None:" % cluster)
+            body.append("    F%d = T.frame(%d)" % (cluster, cluster))
+            body.append("F%dv = F%d._values" % (cluster, cluster))
+        else:
+            # Read-only cluster: the interpreted path never creates a
+            # frame just to read zeros, so neither does the closure.
+            body.append("F%dv = F%d._values if F%d is not None else ()"
+                        % (cluster, cluster, cluster))
+    if committed_mems or mem_tails:
+        body.append("M = node.memory")
+    if committed_mems:
+        body.append("MV = M._values")
+        body.append("MVg = MV.get")
+        body.append("ME = M._empty")
+        body.append("MT = M._last_touch")
+        body.append("ST = node.stats")
+    inner = (["OV = {}"] if use_ov else []) + entry_lines + compute
+    if not inner:
+        inner = ["pass"]
+    body.append("try:")
+    body.extend("    " + line for line in inner)
+    body.append("except Exception:")
+    body.append("    return None")
+    body.extend(commit)
+    source = "def _superblock(node, T, C0):\n" \
+        + "".join("    %s\n" % line for line in body)
+    code = compile(source, "<superblock %s@%d>" % (thread_name, start),
+                   "exec")
+    exec(code, ns)
+    return BlockPlan(start, tuple(ip for ip, __, __ in run),
+                     len(run[0][1].plans), len(recs), last_rel,
+                     cache_checks, ns["_superblock"], source)

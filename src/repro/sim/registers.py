@@ -7,58 +7,90 @@ and writeback sets it (paper Section 2).  Each thread owns a logical
 register set distributed over the clusters it uses, so the simulator
 keeps one :class:`RegisterFrame` per (thread, cluster) pair.
 
-Frames are unbounded maps because the paper's compiler assumes an
-infinite register supply; peak usage is reported, not enforced.
+Frames are unbounded because the paper's compiler assumes an infinite
+register supply; peak usage is reported, not enforced.  The storage is
+a growable list of values plus two integer bitmasks — ``_invalid``
+(presence bits, set bit = *awaiting writeback*) and ``_used`` (written
+at least once) — so the simulator's hottest operations (validity
+checks, reads, writes) are index and bit operations instead of dict and
+set traffic.  The event kernel's inner loops manipulate these fields
+directly; everything else should go through the methods.
 """
 
 from ..errors import SimulationError
 
 
+def _bit_indices(mask):
+    """The set bit positions of ``mask``, ascending."""
+    out = []
+    index = 0
+    while mask:
+        if mask & 1:
+            out.append(index)
+        mask >>= 1
+        index += 1
+    return out
+
+
 class RegisterFrame:
     """One thread's registers within one cluster's register file."""
 
+    __slots__ = ("cluster", "_values", "_invalid", "_used")
+
     def __init__(self, cluster):
         self.cluster = cluster
-        self._values = {}
-        self._invalid = set()
+        self._values = []
+        self._invalid = 0
+        self._used = 0
 
     def is_valid(self, index):
-        return index not in self._invalid
+        return not (self._invalid >> index) & 1
 
     def read(self, index):
         """Read a register; the caller must have checked validity."""
-        if index in self._invalid:
+        if (self._invalid >> index) & 1:
             raise SimulationError(
                 "read of invalid register c%d.r%d (issue logic must wait "
                 "for the presence bit)" % (self.cluster, index))
-        return self._values.get(index, 0)
+        values = self._values
+        return values[index] if index < len(values) else 0
 
     def peek(self, index):
         """Read a register value regardless of its presence bit
         (diagnostics only)."""
-        return self._values.get(index, 0)
+        values = self._values
+        return values[index] if index < len(values) else 0
 
     def invalidate(self, index):
-        """Clear the presence bit (done when an operation issues)."""
-        self._invalid.add(index)
+        """Clear the presence bit (done when an operation issues).  The
+        value slot is grown now so the eventual writeback is a plain
+        index store."""
+        values = self._values
+        if index >= len(values):
+            values.extend([0] * (index + 1 - len(values)))
+        self._invalid |= 1 << index
 
     def write(self, index, value):
         """Write a value and set the presence bit (writeback)."""
-        self._values[index] = value
-        self._invalid.discard(index)
+        values = self._values
+        if index >= len(values):
+            values.extend([0] * (index + 1 - len(values)))
+        values[index] = value
+        bit = 1 << index
+        self._invalid &= ~bit
+        self._used |= bit
 
     def force(self, index, value):
         """Initialize a register outside the writeback path (thread
         spawn argument copy)."""
-        self._values[index] = value
-        self._invalid.discard(index)
+        self.write(index, value)
 
     def invalid_registers(self):
         """Registers currently awaiting writeback (diagnostics)."""
-        return sorted(self._invalid)
+        return _bit_indices(self._invalid)
 
     def used_registers(self):
-        return sorted(self._values)
+        return _bit_indices(self._used)
 
     def __len__(self):
-        return len(self._values)
+        return self._used.bit_count()

@@ -1,9 +1,12 @@
-"""Engine equivalence: the event-driven kernel must be *bit-identical*
-to the scan kernel on every architecturally visible quantity — cycle
-counts, the full statistics record, final memory contents, and presence
-bits — across every benchmark x mode cell, under fault injection, with
-the skip-ahead fast path on or off, and through snapshot/restore
-round-trips taken mid-run."""
+"""Engine equivalence: the event-driven kernel — with superblock
+fusion on and off — must be *bit-identical* to the scan kernel on every
+architecturally visible quantity: cycle counts, the full statistics
+record, final memory contents, and presence bits.  Checked three ways
+(scan / event without fusion / event with fusion) across every
+benchmark x mode cell, under fault injection, over restricted
+interconnects, with the skip-ahead fast path on or off, and through
+snapshot/restore round-trips taken mid-run (including mid-superblock,
+which must force de-fusion at the pause boundary)."""
 
 import pytest
 
@@ -23,7 +26,15 @@ def _cells():
                 yield benchmark, mode
 
 
-def _run_both(benchmark, mode, mutate=None, fast_forward=True):
+#: The three kernels under test, as config transforms.
+ENGINES = (
+    ("scan", lambda c: c.with_engine("scan")),
+    ("event", lambda c: c.with_engine("event").with_fusion(False)),
+    ("fused", lambda c: c.with_engine("event").with_fusion(True)),
+)
+
+
+def _run_all(benchmark, mode, mutate=None, fast_forward=True):
     bench = get_benchmark(benchmark)
     inputs = bench.make_inputs(1)
     config = baseline()
@@ -31,30 +42,33 @@ def _run_both(benchmark, mode, mutate=None, fast_forward=True):
         config = mutate(config)
     compiled = compile_program(bench.source(mode), config, mode=mode)
     results = {}
-    for engine in ("scan", "event"):
-        results[engine] = run_program(compiled.program,
-                                      config.with_engine(engine),
-                                      overrides=inputs,
-                                      fast_forward=fast_forward)
-    return results["scan"], results["event"]
+    for name, select in ENGINES:
+        results[name] = run_program(compiled.program, select(config),
+                                    overrides=inputs,
+                                    fast_forward=fast_forward)
+    return results
 
 
-def _assert_identical(scan, event):
-    assert event.cycles == scan.cycles
-    scan_stats = dict(scan.stats.__dict__)
-    event_stats = dict(event.stats.__dict__)
-    for key in sorted(set(scan_stats) | set(event_stats)):
-        assert event_stats.get(key) == scan_stats.get(key), \
-            "stats.%s diverged: scan=%r event=%r" \
-            % (key, scan_stats.get(key), event_stats.get(key))
-    assert event.memory._values == scan.memory._values
-    assert event.memory._empty == scan.memory._empty
+def _assert_identical(reference, other, label="event"):
+    assert other.cycles == reference.cycles
+    ref_stats = dict(reference.stats.__dict__)
+    other_stats = dict(other.stats.__dict__)
+    for key in sorted(set(ref_stats) | set(other_stats)):
+        assert other_stats.get(key) == ref_stats.get(key), \
+            "stats.%s diverged: reference=%r %s=%r" \
+            % (key, ref_stats.get(key), label, other_stats.get(key))
+    assert other.memory._values == reference.memory._values
+    assert other.memory._empty == reference.memory._empty
+
+
+def _assert_three_way(results):
+    _assert_identical(results["scan"], results["event"], "event")
+    _assert_identical(results["scan"], results["fused"], "fused")
 
 
 @pytest.mark.parametrize("bench_name,mode", list(_cells()))
 def test_every_benchmark_mode_is_identical(bench_name, mode):
-    scan, event = _run_both(bench_name, mode)
-    _assert_identical(scan, event)
+    _assert_three_way(_run_all(bench_name, mode))
 
 
 @pytest.mark.parametrize("bench_name,mode", [("matrix", "coupled"),
@@ -63,29 +77,54 @@ def test_identical_under_fault_injection(bench_name, mode):
     def faulty(config):
         return config.with_faults(FaultPlan.random(7, config, rate=3.0,
                                                    horizon=4000))
-    scan, event = _run_both(bench_name, mode, mutate=faulty)
-    _assert_identical(scan, event)
+    _assert_three_way(_run_all(bench_name, mode, mutate=faulty))
+
+
+def test_identical_under_fault_injection_single_threaded():
+    # Single-threaded cells are where fusion would fire; a fault plan
+    # must force the word-by-word path without drift.
+    def faulty(config):
+        return config.with_faults(FaultPlan.random(11, config, rate=2.0,
+                                                   horizon=8000))
+    _assert_three_way(_run_all("matrix", "seq", mutate=faulty))
 
 
 @pytest.mark.parametrize("scheme", ["shared-bus", "single-port"])
 def test_identical_under_restricted_interconnect(scheme):
     # Exercises the event kernel's arbitrated (non-direct) writeback
-    # path, where entries can wait cycles for a port.
-    scan, event = _run_both(
-        "matrix", "coupled", mutate=lambda c: c.with_interconnect(scheme))
-    _assert_identical(scan, event)
+    # path, where entries can wait cycles for a port; fusion must stay
+    # dormant (its guards require the fully connected network).
+    _assert_three_way(_run_all(
+        "matrix", "coupled", mutate=lambda c: c.with_interconnect(scheme)))
 
 
 def test_identical_without_fast_forward():
-    scan, event = _run_both("matrix", "coupled", fast_forward=False)
-    _assert_identical(scan, event)
+    _assert_three_way(_run_all("matrix", "coupled", fast_forward=False))
+
+
+def test_identical_without_fast_forward_single_threaded():
+    _assert_three_way(_run_all("lud", "seq", fast_forward=False))
 
 
 def test_identical_under_round_robin_arbitration():
-    scan, event = _run_both(
+    _assert_three_way(_run_all(
         "fft", "coupled",
-        mutate=lambda c: c.with_arbitration("round-robin"))
-    _assert_identical(scan, event)
+        mutate=lambda c: c.with_arbitration("round-robin")))
+
+
+def test_identical_under_round_robin_single_threaded():
+    # Fused dispatch must leave the round-robin rotation pointer
+    # exactly where the interpreted path would.
+    _assert_three_way(_run_all(
+        "lud", "seq", mutate=lambda c: c.with_arbitration("round-robin")))
+
+
+def test_identical_with_operation_cache():
+    from repro.sim.opcache import OpCacheSpec
+    _assert_three_way(_run_all(
+        "lud", "seq",
+        mutate=lambda c: c.with_op_cache(OpCacheSpec(capacity=8,
+                                                     fill_penalty=4))))
 
 
 class TestSnapshotRestore:
@@ -93,11 +132,11 @@ class TestSnapshotRestore:
     — on the original node, and on a node restored from the snapshot
     (which must dispatch back to the event kernel)."""
 
-    def _paused_node(self, config, pause_at=300):
-        bench = get_benchmark("fft")
+    def _paused_node(self, config, pause_at=300, benchmark="fft",
+                     mode="coupled"):
+        bench = get_benchmark(benchmark)
         inputs = bench.make_inputs(1)
-        compiled = compile_program(bench.source("coupled"), config,
-                                   mode="coupled")
+        compiled = compile_program(bench.source(mode), config, mode=mode)
         node = make_node(config)
         assert node.run(compiled.program, overrides=inputs,
                         pause_at=pause_at) is None
@@ -128,3 +167,37 @@ class TestSnapshotRestore:
         restored = Node.restore(node.snapshot())
         assert type(restored) is Node
         _assert_identical(full, restored.resume())
+
+    @pytest.mark.parametrize("pause_at", [97, 1000, 5001])
+    def test_snapshot_mid_superblock_forces_defusion(self, pause_at):
+        """Pausing at a cycle a superblock would span must de-fuse at
+        the boundary: the kernel falls back word-by-word so the pause
+        lands on exactly the requested cycle, and resuming (original or
+        restored copy, fusion re-enabled) matches the fusion-off run
+        bit for bit."""
+        fused = baseline().with_engine("event").with_fusion(True)
+        plain = fused.with_fusion(False)
+        node, full = self._paused_node(fused, pause_at=pause_at,
+                                       benchmark="lud", mode="seq")
+        reference = run_program(
+            compile_program(get_benchmark("lud").source("seq"), plain,
+                            mode="seq").program,
+            plain, overrides=get_benchmark("lud").make_inputs(1))
+        assert node.cycle == pause_at
+        restored = Node.restore(node.snapshot())
+        assert isinstance(restored, EventNode)
+        _assert_identical(reference, full, "fused-full")
+        _assert_identical(reference, restored.resume(), "restored")
+        _assert_identical(reference, node.resume(), "resumed")
+
+    def test_snapshot_mid_superblock_restored_without_fusion(self):
+        """A snapshot taken under fusion restores cleanly onto a config
+        whose engine still allows fusion but whose run continues
+        word-by-word to completion (fusion state is not part of the
+        architectural snapshot)."""
+        fused = baseline().with_engine("event").with_fusion(True)
+        node, full = self._paused_node(fused, pause_at=211,
+                                       benchmark="matrix", mode="seq")
+        restored = Node.restore(node.snapshot())
+        restored._fusion = False      # de-fuse the restored copy only
+        _assert_identical(full, restored.resume(), "restored-defused")

@@ -3,7 +3,7 @@
 import json
 
 from repro.bench import (QUICK_BENCHMARKS, aggregate_cycles_per_sec,
-                         compare_reports, main, suite_specs)
+                         compare_reports, delta_table, main, suite_specs)
 from repro.machine import baseline
 
 
@@ -15,7 +15,8 @@ def _report(cells, **top):
 
 def _cell(benchmark, mode, cycles, wall_s):
     return {"benchmark": benchmark, "mode": mode, "cycles": cycles,
-            "wall_s": wall_s}
+            "wall_s": wall_s,
+            "cycles_per_sec": round(cycles / wall_s, 1)}
 
 
 class TestAggregate:
@@ -76,6 +77,33 @@ class TestCompareReports:
                             "compare"]
 
 
+class TestDeltaTable:
+    def test_sorted_worst_regression_first(self):
+        reference = _report([_cell("matrix", "seq", 1000, 0.01),
+                             _cell("fft", "seq", 1000, 0.01)])
+        current = _report([_cell("matrix", "seq", 1000, 0.02),   # -50%
+                           _cell("fft", "seq", 1000, 0.005)])    # +100%
+        lines = delta_table(current, reference)
+        assert len(lines) == 3                     # header + two cells
+        assert lines[1].startswith("matrix")
+        assert "-50.0%" in lines[1]
+        assert lines[2].startswith("fft")
+        assert "+100.0%" in lines[2]
+
+    def test_only_shared_cells_listed(self):
+        reference = _report([_cell("matrix", "seq", 1000, 0.01),
+                             _cell("lud", "seq", 1000, 0.01)])
+        current = _report([_cell("matrix", "seq", 1000, 0.01)])
+        lines = delta_table(current, reference)
+        assert len(lines) == 2
+        assert not any("lud" in line for line in lines)
+
+    def test_no_shared_cells_is_empty(self):
+        reference = _report([_cell("lud", "seq", 1000, 0.01)])
+        current = _report([_cell("matrix", "seq", 1000, 0.01)])
+        assert delta_table(current, reference) == []
+
+
 class TestSuiteSpecs:
     def test_quick_subset(self):
         specs = suite_specs(quick=True)
@@ -102,6 +130,7 @@ class TestBenchCommand:
         assert code == 0
         assert report["schema"] == 1
         assert report["engine"] == "event"
+        assert report["fusion"] is True
         assert report["aggregate_cycles_per_sec"] > 0
         for cell in report["results"]:
             assert cell["cycles"] > 0
@@ -130,3 +159,22 @@ class TestBenchCommand:
         code, text, __ = self._run(tmp_path, "--compare", str(doctored))
         assert code == 1
         assert "cycles drifted" in text
+
+    def test_no_fusion_flag_recorded(self, tmp_path):
+        code, __, report = self._run(tmp_path, "--no-fusion")
+        assert code == 0
+        assert report["engine"] == "event"
+        assert report["fusion"] is False
+
+    def test_compare_warns_on_engine_mismatch(self, tmp_path):
+        code, __, report = self._run(tmp_path, "--engine", "scan")
+        assert code == 0
+        assert report["engine"] == "scan"
+        reference = tmp_path / "bench.json"
+        code, text, __ = self._run(tmp_path, "--compare", str(reference),
+                                   "--regression-threshold", "0.95")
+        assert code == 0                          # warning, not failure
+        assert "warning" in text
+        assert "scan-engine reference" in text
+        # The per-cell delta table rides along with every comparison.
+        assert "old c/s" in text
