@@ -25,9 +25,12 @@ Quickstart::
     print(result.cycles, result.stats.utilization_table())
 """
 
-from .errors import (AsmError, CompileError, ConfigError, DeadlockError,
+from .errors import (AsmError, CellFailure, CellTimeoutError,
+                     CompileError, ConfigError, DeadlockError,
                      FaultConfigError, InterpError, ReproError,
-                     SimulationError, WatchdogError)
+                     SimulationError, SweepJournalError,
+                     VerificationError, WatchdogError,
+                     WorkerCrashError)
 from .machine import (MachineConfig, baseline, mem1, mem2, min_memory,
                       single_cluster, unit_mix)
 from .machine.interconnect import CommScheme
@@ -39,9 +42,10 @@ from .compiler.interp import interpret
 __version__ = "1.0.0"
 
 __all__ = [
-    "AsmError", "CompileError", "ConfigError", "DeadlockError",
-    "FaultConfigError", "InterpError", "ReproError", "SimulationError",
-    "WatchdogError",
+    "AsmError", "CellFailure", "CellTimeoutError", "CompileError",
+    "ConfigError", "DeadlockError", "FaultConfigError", "InterpError",
+    "ReproError", "SimulationError", "SweepJournalError",
+    "VerificationError", "WatchdogError", "WorkerCrashError",
     "MachineConfig", "baseline", "mem1", "mem2", "min_memory",
     "single_cluster", "unit_mix", "CommScheme",
     "FaultEvent", "FaultInjector", "FaultPlan",

@@ -15,6 +15,8 @@ the simulator is getting faster.
     python -m repro bench --engine scan    # force the scan kernel
     python -m repro bench --no-fusion      # event kernel, superblocks off
     python -m repro bench --compare BENCH_20260806.json   # regression gate
+    python -m repro bench --workers 4 --cell-timeout 120 \
+        --on-error collect --resume        # supervised, resumable sweep
 
 ``--compare`` checks the fresh run against a recorded trajectory
 point: any simulated-cycle drift on a shared cell is an error (the
@@ -26,10 +28,18 @@ first) and warns — without failing — when the two reports were taken
 under different kernels, since cross-engine throughput comparisons
 measure the engines, not the commit.
 
-Output schema (version 1; later additions are additive)::
+Sweeps run under the supervised harness: ``--on-error collect``
+isolates cell failures instead of aborting, ``--cell-timeout S``
+bounds each cell's wall clock, and ``--resume [JOURNAL]`` keeps an
+append-only ledger of completed cells so an interrupted bench re-runs
+only the remainder (see docs/internals.md, "Supervised sweep
+execution").
+
+Output schema (version 2; additions over version 1 are additive —
+``failed``, ``on_error``, ``cell_timeout``)::
 
     {
-      "schema": 1,
+      "schema": 2,
       "date": "YYYYMMDD",
       "suite": "full" | "quick",
       "workers": N,
@@ -37,6 +47,8 @@ Output schema (version 1; later additions are additive)::
       "fast_forward": bool,
       "engine": "event" | "scan",
       "fusion": bool,               # superblock fusion (event kernel)
+      "on_error": "raise" | "collect",
+      "cell_timeout": float | null,
       "total_wall_s": float,        # whole-suite wall clock
       "aggregate_cycles_per_sec": float,   # sum(cycles)/sum(wall_s)
       "results": [
@@ -44,6 +56,11 @@ Output schema (version 1; later additions are additive)::
          "operations": int, "wall_s": float, "compile_s": float,
          "cache_hit": bool, "cycles_per_sec": float,
          "stats": {<Stats.summary()>}},
+        ...
+      ],
+      "failed": [                   # collected cell failures
+        {"benchmark": ..., "mode": ..., "error_type": ...,
+         "message": ..., "attempts": int, "timed_out": bool},
         ...
       ]
     }
@@ -66,7 +83,7 @@ from .programs.suite import BENCHMARK_ORDER
 #: clock, so --quick drops it).
 QUICK_BENCHMARKS = ("matrix", "fft", "model")
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 def suite_specs(quick=False, config=None):
@@ -80,11 +97,20 @@ def suite_specs(quick=False, config=None):
     return specs
 
 
-def run_suite(harness, specs, workers=None):
-    """Run the specs and shape the per-cell records."""
-    results = harness.run_many(specs, workers=workers)
-    records = []
+def run_suite(harness, specs, workers=None, on_error="raise",
+              cell_timeout=None, journal=None):
+    """Run the specs under supervision; returns ``(records, failed)``
+    — the per-cell records for completed cells and the failure records
+    for collected failures (always empty with ``on_error="raise"``)."""
+    results = harness.run_many(specs, workers=workers,
+                               on_error=on_error,
+                               cell_timeout=cell_timeout,
+                               journal=journal)
+    records, failed = [], []
     for result in results:
+        if not result.ok:
+            failed.append(result.as_record())
+            continue
         records.append({
             "benchmark": result.benchmark,
             "mode": result.mode,
@@ -96,12 +122,25 @@ def run_suite(harness, specs, workers=None):
             "cycles_per_sec": round(result.cycles_per_second, 1),
             "stats": result.stats.summary(),
         })
-    return records
+    return records, failed
+
+
+def _measured(records):
+    """The records carrying real measurements (guards against failed
+    or malformed cells riding along in a results list)."""
+    return [r for r in records
+            if isinstance(r.get("cycles"), (int, float))
+            and isinstance(r.get("wall_s"), (int, float))]
 
 
 def aggregate_cycles_per_sec(records):
     """Whole-suite throughput: total simulated cycles over total
-    simulation wall clock (compile time excluded)."""
+    simulation wall clock (compile time excluded).  An empty or
+    all-failed record list aggregates to 0.0 rather than dividing by
+    zero."""
+    records = _measured(records)
+    if not records:
+        return 0.0
     cycles = sum(r["cycles"] for r in records)
     wall = sum(r["wall_s"] for r in records)
     return cycles / wall if wall > 0 else 0.0
@@ -118,14 +157,29 @@ def compare_reports(report, reference, threshold=0.2):
       simulator's architectural behavior changed.
     * *throughput* — the aggregate cycles/sec over shared cells must
       not fall more than ``threshold`` below the reference's.
+
+    Failed cells never raise a KeyError: a cell the reference measured
+    but the current report collected as failed is reported as an
+    explicit problem (that *is* a regression); cells failed in the
+    reference are skipped silently (there is nothing to compare).
     """
     problems = []
-    current = {(r["benchmark"], r["mode"]): r for r in report["results"]}
+    current = {(r["benchmark"], r["mode"]): r
+               for r in _measured(report["results"])}
     recorded = {(r["benchmark"], r["mode"]): r
-                for r in reference["results"]}
+                for r in _measured(reference["results"])}
+    for failure in report.get("failed", ()):
+        key = (failure["benchmark"], failure["mode"])
+        if key in recorded:
+            problems.append(
+                "%s/%s: failed in current report (%s: %s) — skipped "
+                "from cycle comparison"
+                % (key[0], key[1], failure.get("error_type", "?"),
+                   failure.get("message", "?")))
     shared = [key for key in recorded if key in current]
     if not shared:
-        return ["no shared (benchmark, mode) cells to compare"]
+        return problems + ["no shared (benchmark, mode) cells to "
+                           "compare"]
     for key in shared:
         new, old = current[key], recorded[key]
         if new["cycles"] != old["cycles"]:
@@ -147,15 +201,16 @@ def delta_table(report, reference):
     """Per-cell throughput deltas against a reference report, worst
     regression first.  Returns display lines (empty when the reports
     share no cells)."""
-    current = {(r["benchmark"], r["mode"]): r for r in report["results"]}
+    current = {(r["benchmark"], r["mode"]): r
+               for r in _measured(report["results"])}
     recorded = {(r["benchmark"], r["mode"]): r
-                for r in reference["results"]}
+                for r in _measured(reference["results"])}
     rows = []
     for key in recorded:
         if key not in current:
             continue
-        old = recorded[key]["cycles_per_sec"]
-        new = current[key]["cycles_per_sec"]
+        old = recorded[key].get("cycles_per_sec", 0.0)
+        new = current[key].get("cycles_per_sec", 0.0)
         delta = 100.0 * (new - old) / old if old > 0 else 0.0
         rows.append((delta, key[0], key[1], old, new))
     if not rows:
@@ -191,12 +246,23 @@ def render(report):
                         record["compile_s"],
                         "hit" if record.get("cache_hit") else "miss",
                         record["cycles_per_sec"]))
-    total_cycles = sum(r["cycles"] for r in report["results"])
+    total_cycles = sum(r["cycles"] for r in _measured(report["results"]))
     lines.append("total: %d cells, %d simulated cycles, %.2fs wall "
                  "(%.0f cycles/sec aggregate)"
                  % (len(report["results"]), total_cycles,
                     report["total_wall_s"],
                     report.get("aggregate_cycles_per_sec", 0.0)))
+    failed = report.get("failed", ())
+    if failed:
+        lines.append("FAILED cells: %d" % len(failed))
+        for failure in failed:
+            lines.append("  %-10s %-8s %s: %s (%d attempt(s)%s)"
+                         % (failure["benchmark"], failure["mode"],
+                            failure.get("error_type", "?"),
+                            failure.get("message", "?"),
+                            failure.get("attempts", 1),
+                            ", timed out"
+                            if failure.get("timed_out") else ""))
     return "\n".join(lines)
 
 
@@ -224,6 +290,24 @@ def main(argv=None, out=None):
     parser.add_argument("--no-fusion", action="store_true",
                         help="disable superblock fusion (event kernel "
                              "falls back to word-by-word dispatch)")
+    parser.add_argument("--on-error", choices=("raise", "collect"),
+                        default="raise",
+                        help="cell-failure policy: abort the sweep "
+                             "(raise, default) or record the failure "
+                             "and keep going (collect)")
+    parser.add_argument("--cell-timeout", type=float, default=None,
+                        metavar="S",
+                        help="per-cell wall-clock budget in seconds "
+                             "(pooled runs only); a hung cell is "
+                             "killed and reported instead of blocking "
+                             "the sweep forever")
+    parser.add_argument("--resume", nargs="?", const="auto",
+                        metavar="JOURNAL",
+                        help="journal completed cells to JOURNAL "
+                             "(default: <output>.journal.jsonl) and "
+                             "replay any cells already recorded there "
+                             "— an interrupted bench re-runs only the "
+                             "remainder")
     parser.add_argument("--compare", metavar="BENCH_FILE",
                         help="regression-gate against a recorded "
                              "BENCH_<date>.json; exits non-zero on "
@@ -252,25 +336,35 @@ def main(argv=None, out=None):
                       compile_cache=False if args.no_compile_cache
                       else "auto")
     specs = suite_specs(quick=args.quick, config=config)
+    date = time.strftime("%Y%m%d")
+    path = args.output or bench_filename(date)
+    journal = args.resume
+    if journal == "auto":
+        journal = str(path) + ".journal.jsonl"
     started = time.perf_counter()
-    records = run_suite(harness, specs, workers=args.workers)
+    records, failed = run_suite(harness, specs, workers=args.workers,
+                                on_error=args.on_error,
+                                cell_timeout=args.cell_timeout,
+                                journal=journal)
     total_wall = time.perf_counter() - started
 
     report = {
         "schema": SCHEMA_VERSION,
-        "date": time.strftime("%Y%m%d"),
+        "date": date,
         "suite": "quick" if args.quick else "full",
         "workers": args.workers or 1,
         "seed": args.seed,
         "fast_forward": not args.no_fast_forward,
         "engine": config.engine,
         "fusion": config.fusion,
+        "on_error": args.on_error,
+        "cell_timeout": args.cell_timeout,
         "total_wall_s": round(total_wall, 6),
         "aggregate_cycles_per_sec":
             round(aggregate_cycles_per_sec(records), 1),
         "results": records,
+        "failed": failed,
     }
-    path = args.output or bench_filename(report["date"])
     with open(path, "w") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")
@@ -295,6 +389,9 @@ def main(argv=None, out=None):
         out.write("comparison against %s passed (no cycle drift, "
                   "throughput within %.0f%%)\n"
                   % (args.compare, 100 * args.regression_threshold))
+    if failed:
+        out.write("%d cell(s) FAILED (see report)\n" % len(failed))
+        return 1
     return 0
 
 

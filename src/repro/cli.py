@@ -10,6 +10,8 @@
     python -m repro modes            # list machine modes
     python -m repro describe         # show the baseline machine
     python -m repro bench --quick    # benchmark the simulator itself
+    python -m repro cache info       # on-disk compile cache footprint
+    python -m repro cache prune --max-bytes 50000000
 
 Programs are the mini-language (``.sexp``) or assembly (``--asm``).
 """
@@ -138,6 +140,43 @@ def cmd_modes(args, out):
     return 0
 
 
+def _human_bytes(count):
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if count < 1024 or unit == "GiB":
+            return "%.1f %s" % (count, unit) if unit != "B" \
+                else "%d B" % count
+        count /= 1024.0
+
+
+def cmd_cache(args, out):
+    """Inspect and bound the on-disk compile cache."""
+    from .compiler.cache import CompileCache, default_cache_dir
+    cache = CompileCache(args.dir or default_cache_dir())
+    if args.action == "info":
+        stats = cache.stats()
+        out.write("compile cache: %s\n" % stats["root"])
+        out.write("entries:       %d\n" % stats["entries"])
+        out.write("total size:    %s\n"
+                  % _human_bytes(stats["total_bytes"]))
+        return 0
+    if args.action == "clear":
+        removed = cache.clear()
+        out.write("removed %d entr%s from %s\n"
+                  % (removed, "y" if removed == 1 else "ies",
+                     cache.root))
+        return 0
+    # prune
+    if args.max_bytes is None:
+        raise SystemExit("cache prune requires --max-bytes N")
+    removed, freed = cache.prune(args.max_bytes)
+    stats = cache.stats()
+    out.write("pruned %d entr%s (%s freed); %d left (%s)\n"
+              % (removed, "y" if removed == 1 else "ies",
+                 _human_bytes(freed), stats["entries"],
+                 _human_bytes(stats["total_bytes"])))
+    return 0
+
+
 def cmd_describe(args, out):
     out.write(_build_config(args).describe() + "\n")
     return 0
@@ -211,6 +250,19 @@ def main(argv=None, out=None):
     # Listed for --help only; real dispatch happens above.
     sub.add_parser("bench", add_help=False,
                    help="benchmark the simulator on the paper suite")
+
+    cache_parser = sub.add_parser(
+        "cache", help="inspect or bound the on-disk compile cache")
+    cache_parser.add_argument("action",
+                              choices=("info", "clear", "prune"))
+    cache_parser.add_argument("--dir", metavar="PATH",
+                              help="cache directory (default: "
+                                   "$REPRO_CACHE_DIR or "
+                                   "~/.cache/repro/compile)")
+    cache_parser.add_argument("--max-bytes", type=int, metavar="N",
+                              help="prune: evict oldest entries until "
+                                   "the cache fits in N bytes")
+    cache_parser.set_defaults(func=cmd_cache)
 
     modes_parser = sub.add_parser("modes", help="list machine modes")
     modes_parser.set_defaults(func=cmd_modes)

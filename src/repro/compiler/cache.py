@@ -119,18 +119,63 @@ class CompileCache:
     def clear(self):
         """Remove every entry; returns the number removed."""
         removed = 0
+        for __, __, path in self._entries():
+            try:
+                os.remove(path)
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def _entries(self):
+        """(mtime, size, path) for every on-disk entry, oldest first.
+        Entries that vanish mid-scan (concurrent prune/clear) are
+        skipped."""
         try:
             names = os.listdir(self.root)
         except OSError:
-            return 0
+            return []
+        rows = []
         for name in names:
-            if name.endswith(".pkl"):
-                try:
-                    os.remove(os.path.join(self.root, name))
-                    removed += 1
-                except OSError:
-                    pass
-        return removed
+            if not name.endswith(".pkl"):
+                continue
+            path = os.path.join(self.root, name)
+            try:
+                info = os.stat(path)
+            except OSError:
+                continue
+            rows.append((info.st_mtime, info.st_size, path))
+        rows.sort()
+        return rows
+
+    def stats(self):
+        """On-disk footprint plus this process's hit/miss counters:
+        ``{"root", "entries", "total_bytes", "hits", "misses"}``."""
+        entries = self._entries()
+        return {"root": self.root,
+                "entries": len(entries),
+                "total_bytes": sum(size for __, size, __ in entries),
+                "hits": self.hits,
+                "misses": self.misses}
+
+    def prune(self, max_bytes):
+        """Evict oldest-mtime entries until the cache fits in
+        ``max_bytes``; returns ``(removed_entries, freed_bytes)``.
+        The cache otherwise grows without bound — every distinct
+        (source, mode, schedule-signature) triple ever compiled."""
+        entries = self._entries()
+        total = sum(size for __, size, __ in entries)
+        removed, freed = 0, 0
+        for __, size, path in entries:
+            if total - freed <= max_bytes:
+                break
+            try:
+                os.remove(path)
+            except OSError:
+                continue
+            removed += 1
+            freed += size
+        return removed, freed
 
 
 def default_cache():

@@ -72,3 +72,114 @@ class WatchdogError(SimulationError):
 
 class InterpError(ReproError):
     """The reference interpreter rejected or could not run a program."""
+
+
+class VerificationError(ReproError):
+    """A simulation completed but its numeric output did not match the
+    reference interpreter.
+
+    Carries everything needed to reproduce the cell from the error
+    alone: benchmark, mode, the config's ``run_signature()`` digest
+    prefix, and the harness input seed.  ``problems`` holds every
+    mismatch; the message shows the first three plus the total count.
+    """
+
+    SHOWN = 3
+
+    def __init__(self, benchmark, mode, config_name, problems,
+                 signature=None, seed=None):
+        self.benchmark = benchmark
+        self.mode = mode
+        self.config_name = config_name
+        self.problems = list(problems)
+        self.signature = signature
+        self.seed = seed
+        shown = self.problems[:self.SHOWN]
+        more = len(self.problems) - len(shown)
+        message = ("%s/%s on %s produced wrong results: %d problem(s)"
+                   % (benchmark, mode, config_name, len(self.problems)))
+        message += ": %s" % (shown,)
+        if more > 0:
+            message += " (+%d more)" % more
+        message += (" [run_signature=%s seed=%s]"
+                    % (signature or "?", seed if seed is not None else "?"))
+        super().__init__(message)
+
+
+class CellTimeoutError(ReproError):
+    """A sweep cell exceeded its wall-clock budget under supervised
+    execution (``run_many(..., cell_timeout=...)``).  The hung worker
+    is killed and the pool rebuilt; the cell is not retried (the
+    simulator's own watchdog covers in-simulation livelock — a harness
+    timeout means even that never fired)."""
+
+    def __init__(self, benchmark, mode, timeout):
+        super().__init__("%s/%s exceeded the %.1fs cell timeout"
+                         % (benchmark, mode, timeout))
+        self.benchmark = benchmark
+        self.mode = mode
+        self.timeout = timeout
+
+
+class WorkerCrashError(ReproError):
+    """A sweep worker process died (segfault, OOM kill, ...) while
+    executing a cell, and retries were exhausted."""
+
+    def __init__(self, benchmark, mode, attempts, cause=None):
+        super().__init__(
+            "%s/%s: worker process died (%d attempt(s)%s)"
+            % (benchmark, mode, attempts,
+               "; last error: %s" % cause if cause else ""))
+        self.benchmark = benchmark
+        self.mode = mode
+        self.attempts = attempts
+        self.cause = cause
+
+
+class SweepJournalError(ReproError):
+    """A sweep journal cannot be used for resume: its header records
+    different harness parameters (seed, cycle budget, ...) than the
+    sweep being resumed, so replaying its cells would mix results from
+    two different experiments."""
+
+
+class CellFailure:
+    """Structured record of one failed sweep cell.
+
+    Not an exception: with ``on_error="collect"`` these appear in the
+    ``run_many`` result list *in place of* :class:`RunResult` for the
+    cells that failed, so a sweep survives individual-cell failure and
+    the caller can render/skip/retry them.  ``ok`` distinguishes the
+    two result kinds without isinstance checks.
+    """
+
+    ok = False
+
+    def __init__(self, benchmark, mode, error_type, message,
+                 attempts=1, timed_out=False, key_digest=None):
+        self.benchmark = benchmark
+        self.mode = mode
+        self.error_type = error_type
+        self.message = message
+        self.attempts = attempts
+        self.timed_out = timed_out
+        self.key_digest = key_digest
+
+    @classmethod
+    def from_exception(cls, benchmark, mode, exc, attempts=1,
+                       key_digest=None):
+        return cls(benchmark, mode, type(exc).__name__, str(exc),
+                   attempts=attempts,
+                   timed_out=isinstance(exc, CellTimeoutError),
+                   key_digest=key_digest)
+
+    def as_record(self):
+        """JSON-serializable shape (journal lines, bench reports)."""
+        return {"benchmark": self.benchmark, "mode": self.mode,
+                "error_type": self.error_type, "message": self.message,
+                "attempts": self.attempts, "timed_out": self.timed_out}
+
+    def __repr__(self):
+        return ("CellFailure(%s/%s %s: %s after %d attempt(s))"
+                % (self.benchmark, self.mode, self.error_type,
+                   self.message, self.attempts))

@@ -35,33 +35,42 @@ def main(argv=None, out=None):
     parser.add_argument("--quick", action="store_true",
                         help="resilience only: one benchmark, two fault "
                              "rates (CI smoke run)")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="fan the experiment grid out over N "
+                             "supervised worker processes")
+    parser.add_argument("--on-error", choices=("raise", "collect"),
+                        default="raise",
+                        help="cell-failure policy: abort (raise, "
+                             "default) or render failed cells as "
+                             "missing/FAILED and keep going (collect)")
     args = parser.parse_args(argv)
     out = out or sys.stdout
     harness = Harness(seed=args.seed, check=not args.no_check)
+    sweep = {"workers": args.workers, "on_error": args.on_error}
     started = time.time()
     want = lambda name: args.target in (name, "all")
     if want("table2") or want("figure4"):
-        rows = table2.run(harness)
+        rows = table2.run(harness, **sweep)
         if args.target != "figure4":
             _emit(out, table2.render(rows))
         if want("figure4"):
             _emit(out, table2.render_figure4(rows))
     if want("figure5"):
-        _emit(out, figure5.render(figure5.run(harness)))
+        _emit(out, figure5.render(figure5.run(harness, **sweep)))
     if want("table3"):
         _emit(out, table3.render(table3.run(seed=args.seed)))
     if want("figure6"):
-        _emit(out, figure6.render(figure6.run(harness)))
+        _emit(out, figure6.render(figure6.run(harness, **sweep)))
     if want("figure7"):
-        _emit(out, figure7.render(figure7.run(harness)))
+        _emit(out, figure7.render(figure7.run(harness, **sweep)))
     if want("figure8"):
-        _emit(out, figure8.render(figure8.run(harness)))
+        _emit(out, figure8.render(figure8.run(harness, **sweep)))
     if args.target == "resilience":
         if args.quick:
             cells = resilience.run(harness, rates=resilience.QUICK_RATES,
-                                   benchmarks=("matrix",))
+                                   benchmarks=("matrix",), **sweep)
         else:
-            cells = resilience.run(harness)
+            cells = resilience.run(harness, **sweep)
         _emit(out, resilience.render(cells))
     out.write("[%s done in %.1fs]\n" % (args.target,
                                         time.time() - started))

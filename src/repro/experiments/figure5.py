@@ -7,24 +7,27 @@ from ..programs import get_benchmark
 from ..programs.suite import BENCHMARK_ORDER
 from . import paper
 from .report import format_table
-from .runner import Harness
+from .runner import Harness, RunSpec
 
 _KINDS = (UnitClass.FPU, UnitClass.IU, UnitClass.MEM, UnitClass.BRU)
 
 
-def run(harness=None, config=None):
+def run(harness=None, config=None, workers=None, on_error="raise"):
     harness = harness or Harness()
     config = config or baseline()
+    specs = [RunSpec(benchmark, mode, config)
+             for benchmark in BENCHMARK_ORDER
+             for mode in paper.MODE_ORDER
+             if mode in get_benchmark(benchmark).modes]
     rows = []
-    for benchmark in BENCHMARK_ORDER:
-        modes = [m for m in paper.MODE_ORDER
-                 if m in get_benchmark(benchmark).modes]
-        for mode in modes:
-            result = harness.run(benchmark, mode, config)
-            row = {"benchmark": benchmark, "mode": mode}
-            for kind in _KINDS:
-                row[kind.value] = result.utilization[kind.value]
-            rows.append(row)
+    for result in harness.run_many(specs, workers=workers,
+                                   on_error=on_error):
+        if not result.ok:
+            continue                  # collected failure: omit the row
+        row = {"benchmark": result.benchmark, "mode": result.mode}
+        for kind in _KINDS:
+            row[kind.value] = result.utilization[kind.value]
+        rows.append(row)
     return rows
 
 

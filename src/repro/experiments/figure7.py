@@ -10,52 +10,64 @@ from ..machine import baseline, mem1, mem2, min_memory
 from ..programs import get_benchmark
 from ..programs.suite import BENCHMARK_ORDER
 from .report import format_grid
-from .runner import Harness
+from .runner import Harness, RunSpec
 
 MEMORY_MODELS = ("min", "mem1", "mem2")
 MODES = ("sts", "tpe", "coupled", "ideal")
 _SPECS = {"min": min_memory, "mem1": mem1, "mem2": mem2}
 
 
-def run(harness=None, config=None):
+def run(harness=None, config=None, workers=None, on_error="raise"):
     harness = harness or Harness()
     config = config or baseline()
-    cells = {}
+    grid = []
     for model_name in MEMORY_MODELS:
         memory_config = config.with_memory(_SPECS[model_name]())
         for benchmark in BENCHMARK_ORDER:
             for mode in MODES:
                 if mode not in get_benchmark(benchmark).modes:
                     continue
-                result = harness.run(benchmark, mode, memory_config)
-                cells[(benchmark, mode, model_name)] = result.cycles
-    return cells
+                grid.append((benchmark, mode, model_name,
+                             memory_config))
+    results = harness.run_many(
+        [RunSpec(benchmark, mode, memory_config)
+         for benchmark, mode, __, memory_config in grid],
+        workers=workers, on_error=on_error)
+    return {(benchmark, mode, model_name): result.cycles
+            for (benchmark, mode, model_name, __), result
+            in zip(grid, results) if result.ok}
 
 
 def slowdown(cells, mode):
-    """Average Mem2/Min cycle ratio for one mode across benchmarks."""
+    """Average Mem2/Min cycle ratio for one mode across the benchmarks
+    with both cells present (None when there are none)."""
     ratios = []
     for benchmark in BENCHMARK_ORDER:
-        if (benchmark, mode, "min") not in cells:
+        slow = cells.get((benchmark, mode, "mem2"))
+        fast = cells.get((benchmark, mode, "min"))
+        if not fast or slow is None:
             continue
-        ratios.append(cells[(benchmark, mode, "mem2")]
-                      / cells[(benchmark, mode, "min")])
-    return sum(ratios) / len(ratios)
+        ratios.append(slow / fast)
+    return sum(ratios) / len(ratios) if ratios else None
 
 
 def render(cells):
     sections = []
     for benchmark in BENCHMARK_ORDER:
         modes = [m for m in MODES
-                 if (benchmark, m, "min") in cells]
+                 if any((benchmark, m, mm) in cells
+                        for mm in MEMORY_MODELS)]
         grid = format_grid(
             {(m, mm): cells[(benchmark, m, mm)]
-             for m in modes for mm in MEMORY_MODELS},
+             for m in modes for mm in MEMORY_MODELS
+             if (benchmark, m, mm) in cells},
             modes, MEMORY_MODELS,
             title="Figure 7 — %s (cycles)" % benchmark)
         sections.append(grid)
     summary = ["average Mem2/Min slowdown:"]
     for mode in ("sts", "tpe", "coupled"):
-        summary.append("  %-8s %.2fx" % (mode, slowdown(cells, mode)))
+        ratio = slowdown(cells, mode)
+        summary.append("  %-8s %s" % (mode, "%.2fx" % ratio
+                                      if ratio is not None else "n/a"))
     summary.append("(paper: STS ~5.5x, TPE ~2.3x, Coupled ~2.0x)")
     return "\n\n".join(sections) + "\n" + "\n".join(summary)

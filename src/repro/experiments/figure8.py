@@ -5,21 +5,24 @@ four memory units and a single branch cluster."""
 from ..machine import unit_mix
 from ..programs.suite import BENCHMARK_ORDER
 from .report import format_grid
-from .runner import Harness
+from .runner import Harness, RunSpec
 
 SWEEP = tuple((n_iu, n_fpu) for n_iu in (1, 2, 3, 4)
               for n_fpu in (1, 2, 3, 4))
 
 
-def run(harness=None, benchmarks=BENCHMARK_ORDER):
+def run(harness=None, benchmarks=BENCHMARK_ORDER, workers=None,
+        on_error="raise"):
     harness = harness or Harness()
-    cells = {}
-    for n_iu, n_fpu in SWEEP:
-        config = unit_mix(n_iu, n_fpu)
-        for benchmark in benchmarks:
-            result = harness.run(benchmark, "coupled", config)
-            cells[(benchmark, n_iu, n_fpu)] = result.cycles
-    return cells
+    grid = [(benchmark, n_iu, n_fpu)
+            for n_iu, n_fpu in SWEEP
+            for benchmark in benchmarks]
+    results = harness.run_many(
+        [RunSpec(benchmark, "coupled", unit_mix(n_iu, n_fpu))
+         for benchmark, n_iu, n_fpu in grid],
+        workers=workers, on_error=on_error)
+    return {key: result.cycles
+            for key, result in zip(grid, results) if result.ok}
 
 
 def render(cells):
@@ -30,7 +33,8 @@ def render(cells):
         grid = format_grid(
             {("%d IU" % n_iu, "%d FPU" % n_fpu):
              cells[(benchmark, n_iu, n_fpu)]
-             for n_iu in (1, 2, 3, 4) for n_fpu in (1, 2, 3, 4)},
+             for n_iu in (1, 2, 3, 4) for n_fpu in (1, 2, 3, 4)
+             if (benchmark, n_iu, n_fpu) in cells},
             ["%d IU" % n for n in (1, 2, 3, 4)],
             ["%d FPU" % n for n in (1, 2, 3, 4)],
             title="Figure 8 — %s (Coupled cycles, 4 MEM units)"

@@ -22,7 +22,7 @@ from ..programs import get_benchmark
 from ..programs.suite import BENCHMARK_ORDER
 from ..sim.faults import FaultPlan
 from .report import format_grid
-from .runner import Harness
+from .runner import Harness, RunSpec
 
 MODES = ("sts", "tpe", "coupled")
 #: Expected unit-offline windows per 1000 cycles.
@@ -30,44 +30,71 @@ RATES = (0.0, 1.0, 2.0, 4.0)
 QUICK_RATES = (0.0, 4.0)
 FAULT_SEED = 7
 
+#: Sentinel cell value for a collected failure (render shows FAILED;
+#: ratios against it come out None).
+FAILED = "failed"
+
 
 def run(harness=None, config=None, rates=RATES, benchmarks=BENCHMARK_ORDER,
-        fault_seed=FAULT_SEED):
+        fault_seed=FAULT_SEED, workers=None, on_error="raise"):
     """Simulate every (benchmark, mode, rate) cell; returns a dict of
-    ``(benchmark, mode, rate) -> cycles``."""
+    ``(benchmark, mode, rate) -> cycles`` (:data:`FAILED` for cells
+    collected as failures under ``on_error="collect"``)."""
     harness = harness or Harness()
     config = config or baseline()
     cells = {}
+    # Fault-free baselines first: they size each benchmark's fault-plan
+    # horizon, so they must complete before the faulted grid exists.
+    per_benchmark = {}
+    baseline_specs = []
     for benchmark in benchmarks:
         modes = [m for m in MODES
                  if m in get_benchmark(benchmark).modes]
-        baselines = {mode: harness.run(benchmark, mode, config)
-                     for mode in modes}
+        per_benchmark[benchmark] = modes
+        baseline_specs.extend(RunSpec(benchmark, mode, config)
+                              for mode in modes)
+    baseline_results = dict(zip(
+        [(s.benchmark, s.mode) for s in baseline_specs],
+        harness.run_many(baseline_specs, workers=workers,
+                         on_error=on_error)))
+    fault_specs = []
+    for benchmark, modes in per_benchmark.items():
+        survivors = [baseline_results[(benchmark, mode)]
+                     for mode in modes
+                     if baseline_results[(benchmark, mode)].ok]
+        for mode in modes:
+            result = baseline_results[(benchmark, mode)]
+            cells[(benchmark, mode, 0.0)] = \
+                result.cycles if result.ok else FAILED
+        if not survivors:
+            continue        # no horizon — skip this benchmark's faults
         # One plan horizon per benchmark (spanning its slowest mode)
         # so every mode replays the *same* fault windows.
-        horizon = 2 * max(result.cycles for result in baselines.values())
+        horizon = 2 * max(result.cycles for result in survivors)
         for rate in rates:
-            plan = None
-            if rate > 0.0:
-                plan = FaultPlan.random(fault_seed, config, rate=rate,
-                                        horizon=horizon)
-            for mode in modes:
-                if plan is None:
-                    cells[(benchmark, mode, rate)] = \
-                        baselines[mode].cycles
-                    continue
-                result = harness.run(benchmark, mode,
-                                     config.with_faults(plan),
-                                     tag=(benchmark, mode, "faults",
-                                          rate, fault_seed, horizon))
-                cells[(benchmark, mode, rate)] = result.cycles
+            if rate <= 0.0:
+                continue
+            plan = FaultPlan.random(fault_seed, config, rate=rate,
+                                    horizon=horizon)
+            fault_specs.extend(
+                RunSpec(benchmark, mode, config.with_faults(plan),
+                        tag=(benchmark, mode, "faults", rate,
+                             fault_seed, horizon))
+                for mode in modes)
+    for spec, result in zip(fault_specs,
+                            harness.run_many(fault_specs,
+                                             workers=workers,
+                                             on_error=on_error)):
+        rate = spec.tag[3]
+        cells[(spec.benchmark, spec.mode, rate)] = \
+            result.cycles if result.ok else FAILED
     return cells
 
 
 def slowdown(cells, benchmark, mode, rate):
     base = cells.get((benchmark, mode, 0.0))
     faulted = cells.get((benchmark, mode, rate))
-    if not base or faulted is None:
+    if not base or faulted is None or FAILED in (base, faulted):
         return None
     return faulted / base
 
@@ -82,9 +109,15 @@ def render(cells):
         values = {}
         for mode in modes:
             for rate in rates:
+                cell = cells.get((benchmark, mode, rate))
                 ratio = slowdown(cells, benchmark, mode, rate)
-                values[(mode, "%g/kc" % rate)] = \
-                    "%d (%.2fx)" % (cells[(benchmark, mode, rate)], ratio)
+                if cell is None or cell == FAILED:
+                    values[(mode, "%g/kc" % rate)] = "FAILED"
+                elif ratio is None:
+                    values[(mode, "%g/kc" % rate)] = "%d" % cell
+                else:
+                    values[(mode, "%g/kc" % rate)] = \
+                        "%d (%.2fx)" % (cell, ratio)
         sections.append(format_grid(
             values, modes, ["%g/kc" % rate for rate in rates],
             title="Resilience — %s (cycles under unit-offline faults, "

@@ -1,5 +1,5 @@
 """Shared experiment runner: compile and simulation caching, wall-clock
-accounting, and a process-pool fan-out for sweep grids.
+accounting, and a *supervised* process-pool fan-out for sweep grids.
 
 The paper's evaluation is an embarrassingly parallel grid — benchmarks
 x modes x machine configurations, every cell independent — so
@@ -8,16 +8,29 @@ merge their compile/run caches back into the parent.  Parallel runs
 are bit-identical to serial ones: each cell's result depends only on
 its (benchmark, mode, config, seed), never on scheduling order, and
 every worker derives its inputs from the same harness seed.
+
+Pooled execution is crash-isolated (see
+:mod:`repro.experiments.supervision`): a worker that raises, dies, or
+hangs costs only its own cell — captured as a structured
+:class:`~repro.errors.CellFailure` under ``on_error="collect"`` —
+while pool breakage is retried with backoff and, once retries are
+exhausted, re-executed serially in the parent.  Passing
+``journal=path`` keeps an append-only JSONL ledger of completed
+cells, so an interrupted sweep resumes by replaying the ledger and
+re-running only the remainder.
 """
 
 import time
 from dataclasses import dataclass
 
 from ..compiler import CompileCache, compile_program, default_cache
-from ..errors import ReproError
+from ..errors import CellFailure, VerificationError
 from ..machine import baseline
 from ..programs import get_benchmark
 from ..sim import run_program
+from .supervision import (ReplayedStats, Supervisor, SupervisorPolicy,
+                          SweepCell, SweepJournal, chaos_if_requested,
+                          run_key_digest)
 
 
 @dataclass(frozen=True)
@@ -52,6 +65,10 @@ class RunResult:
     wall_seconds: float = 0.0       # simulation wall clock
     compile_seconds: float = 0.0    # compilation wall clock (0 on hit)
     cache_hit: bool = False         # compile served from a cache?
+    replayed: bool = False          # rebuilt from a sweep journal?
+
+    #: Discriminates RunResult from CellFailure in a collected sweep.
+    ok = True
 
     @property
     def fpu_util(self):
@@ -154,9 +171,11 @@ class Harness:
         if self.check:
             problems = bench.check(sim, inputs)
             if problems:
-                raise ReproError(
-                    "%s/%s on %s produced wrong results: %s"
-                    % (benchmark, mode, config.name, problems[:3]))
+                raise VerificationError(
+                    benchmark, mode, config.name, problems,
+                    signature=run_key_digest(
+                        config.run_signature())[:12],
+                    seed=self.seed)
         result = RunResult(benchmark, mode, config, sim.cycles,
                            sim.stats.utilization_table(), sim.stats,
                            compiled, sim, verified,
@@ -166,10 +185,13 @@ class Harness:
         self._runs[key] = result
         return result
 
-    # -- parallel fan-out ------------------------------------------------
+    # -- supervised fan-out ----------------------------------------------
 
-    def run_many(self, specs, workers=None):
-        """Run a batch of specs, optionally across worker processes.
+    def run_many(self, specs, workers=None, on_error="raise",
+                 cell_timeout=None, retries=2, journal=None,
+                 policy=None):
+        """Run a batch of specs, optionally across worker processes,
+        under supervision.
 
         ``specs`` is an iterable of :class:`RunSpec` or
         ``(benchmark, mode[, config[, tag]])`` tuples.  ``workers``
@@ -179,30 +201,130 @@ class Harness:
         subsequent :meth:`run` calls hit.  Falls back to serial
         execution when process pools are unavailable.  Results come
         back in spec order and are bit-identical to a serial run.
+
+        Failure policy (see :mod:`repro.experiments.supervision`):
+        ``on_error="raise"`` aborts on the first failed cell after
+        cancelling the queue; ``"collect"`` puts a
+        :class:`~repro.errors.CellFailure` in that cell's result slot
+        and keeps sweeping.  ``cell_timeout`` bounds each cell's wall
+        clock (pooled execution only); ``retries`` bounds
+        re-dispatches after worker-pool breakage before the cell runs
+        serially in the parent.  A prebuilt
+        :class:`~repro.experiments.supervision.SupervisorPolicy` via
+        ``policy`` overrides the three knobs.
+
+        ``journal`` names an append-only JSONL ledger: completed cells
+        are recorded as they finish, and cells already recorded there
+        (from an interrupted earlier invocation) are *replayed* —
+        rebuilt as :class:`RunResult` with ``replayed=True`` — instead
+        of re-simulated.
         """
         specs = [self._coerce_spec(spec) for spec in specs]
-        if workers is None or workers <= 1 or len(specs) <= 1:
-            return [self.run(s.benchmark, s.mode, s.config, s.tag)
-                    for s in specs]
+        policy = policy or SupervisorPolicy(on_error=on_error,
+                                            cell_timeout=cell_timeout,
+                                            max_retries=retries)
+        keyed = [(self._run_key(s.benchmark, s.mode,
+                                s.config or baseline(), s.tag), s)
+                 for s in specs]
+        journal = self._open_journal(journal)
+        if journal is not None:
+            self._replay_from_journal(journal, keyed)
+        failures = {}
+
+        def on_complete(cell, outcome):
+            if outcome.ok:
+                self._absorb(cell.key, outcome)
+                if journal is not None:
+                    journal.record_ok(run_key_digest(cell.key),
+                                      _journal_record(outcome))
+            else:
+                failures[cell.key] = outcome
+                if journal is not None:
+                    journal.record_failed(run_key_digest(cell.key),
+                                          outcome)
+
         # Dedupe against the cache and within the batch.
         todo = {}
-        for spec in specs:
-            key = self._run_key(spec.benchmark, spec.mode,
-                                spec.config or baseline(), spec.tag)
+        for key, spec in keyed:
             if key not in self._runs and key not in todo:
                 todo[key] = spec
-        if todo:
-            merged = self._run_pool(list(todo.items()), workers)
-            if merged is None:          # pool unavailable: serial fallback
-                for spec in todo.values():
-                    self.run(spec.benchmark, spec.mode, spec.config,
-                             spec.tag)
+        try:
+            if todo:
+                pooled = (workers is not None and workers > 1
+                          and len(todo) > 1)
+                if pooled:
+                    supervisor = Supervisor(
+                        policy, workers, _run_spec_in_worker,
+                        self._worker_payload(),
+                        lambda spec: self.run(spec.benchmark, spec.mode,
+                                              spec.config, spec.tag),
+                        on_complete=on_complete)
+                    pooled = supervisor.run(list(todo.items())) \
+                        is not None
+                if not pooled:
+                    self._run_serial(todo, policy, on_complete)
+        finally:
+            if journal is not None:
+                journal.close()
+        out = []
+        for key, spec in keyed:
+            out.append(self._runs[key] if key in self._runs
+                       else failures[key])
+        return out
+
+    def _run_serial(self, todo, policy, on_complete):
+        """In-process sweep execution under the same failure policy
+        (timeouts cannot be enforced without a pool and are ignored
+        here)."""
+        for key, spec in todo.items():
+            cell = SweepCell(key, spec)
+            try:
+                result = self.run(spec.benchmark, spec.mode,
+                                  spec.config, spec.tag)
+            except Exception as exc:
+                failure = CellFailure.from_exception(
+                    spec.benchmark, spec.mode, exc,
+                    key_digest=run_key_digest(key))
+                on_complete(cell, failure)
+                if policy.on_error == "raise":
+                    raise
             else:
-                for key, result in merged:
-                    self._absorb(key, result)
-        return [self._runs[self._run_key(s.benchmark, s.mode,
-                                         s.config or baseline(), s.tag)]
-                for s in specs]
+                on_complete(cell, result)
+
+    # -- journal replay --------------------------------------------------
+
+    def _journal_header(self):
+        """Everything a cell's outcome depends on at the harness level
+        (the config level is covered by the per-cell key digest)."""
+        return {"seed": self.seed, "check": self.check,
+                "max_cycles": self.max_cycles,
+                "fast_forward": self.fast_forward}
+
+    def _open_journal(self, journal):
+        if journal is None or isinstance(journal, SweepJournal):
+            return journal
+        return SweepJournal(journal, header=self._journal_header())
+
+    def _replay_from_journal(self, journal, keyed):
+        """Rebuild RunResults for every cell of this sweep already
+        recorded ok in the journal, so the dedupe pass skips them."""
+        for key, spec in keyed:
+            if key in self._runs:
+                continue
+            record = journal.completed(run_key_digest(key))
+            if record is None:
+                continue
+            result = RunResult(
+                record["benchmark"], record["mode"],
+                spec.config or baseline(), record["cycles"],
+                dict(record["utilization"]),
+                ReplayedStats(record["stats"]),
+                None, None, record.get("verified", True),
+                wall_seconds=record.get("wall_seconds", 0.0),
+                compile_seconds=record.get("compile_seconds", 0.0),
+                cache_hit=record.get("cache_hit", False),
+                replayed=True)
+            self._absorb(key, result)
 
     @staticmethod
     def _coerce_spec(spec):
@@ -216,23 +338,6 @@ class Harness:
         return (self.seed, self.check, self.max_cycles,
                 self.fast_forward, cache_root)
 
-    def _run_pool(self, keyed_specs, workers):
-        """Execute (key, spec) pairs on a process pool; returns the
-        (key, result) list, or None when no pool could be created."""
-        try:
-            from concurrent.futures import ProcessPoolExecutor
-            pool = ProcessPoolExecutor(max_workers=workers)
-        except (ImportError, NotImplementedError, OSError):
-            return None
-        payload = self._worker_payload()
-        try:
-            futures = [(key, pool.submit(_run_spec_in_worker, payload,
-                                         spec))
-                       for key, spec in keyed_specs]
-            return [(key, future.result()) for key, future in futures]
-        finally:
-            pool.shutdown()
-
     def _absorb(self, key, result):
         """Merge one worker result into the run and compile caches."""
         self._runs[key] = result
@@ -242,8 +347,24 @@ class Harness:
             self._compiled.setdefault(ckey, result.compiled)
 
 
+def _journal_record(result):
+    """The JSON-serializable slice of a RunResult a journal keeps —
+    enough to rebuild everything the report generators read."""
+    return {"benchmark": result.benchmark, "mode": result.mode,
+            "cycles": result.cycles,
+            "utilization": dict(result.utilization),
+            "stats": result.stats.summary(),
+            "verified": result.verified,
+            "wall_seconds": result.wall_seconds,
+            "compile_seconds": result.compile_seconds,
+            "cache_hit": result.cache_hit}
+
+
 def _run_spec_in_worker(payload, spec):
-    """Process-pool entry point: rebuild a harness and run one spec."""
+    """Process-pool entry point: rebuild a harness and run one spec.
+    The chaos hook fires only here — never in the parent — so the
+    serial-fallback path completes cells whose workers always die."""
+    chaos_if_requested(spec.benchmark, spec.mode)
     seed, check, max_cycles, fast_forward, cache_root = payload
     cache = CompileCache(cache_root) if cache_root is not None else None
     harness = Harness(seed=seed, check=check, max_cycles=max_cycles,

@@ -2,38 +2,45 @@
 the five machine modes on the four benchmarks."""
 
 from ..machine import baseline
+from ..programs import get_benchmark
 from ..programs.suite import BENCHMARK_ORDER
 from . import paper
 from .report import format_bar_chart, format_table
-from .runner import Harness
+from .runner import Harness, RunSpec
 
 
-def run(harness=None, config=None):
-    """Returns a list of row dicts in the paper's presentation order."""
+def run(harness=None, config=None, workers=None, on_error="raise"):
+    """Returns a list of row dicts in the paper's presentation order.
+    With ``on_error="collect"`` a failed cell is simply absent from
+    the rows (and ratios against it render as ``-``)."""
     harness = harness or Harness()
     config = config or baseline()
+    grid = [(benchmark, mode)
+            for benchmark in BENCHMARK_ORDER
+            for mode in paper.MODE_ORDER
+            if mode in get_benchmark(benchmark).modes]
+    results = harness.run_many(
+        [RunSpec(benchmark, mode, config) for benchmark, mode in grid],
+        workers=workers, on_error=on_error)
+    by_key = {key: result for key, result in zip(grid, results)
+              if result.ok}
     rows = []
-    by_key = {}
-    for benchmark in BENCHMARK_ORDER:
-        from ..programs import get_benchmark
-        modes = [m for m in paper.MODE_ORDER
-                 if m in get_benchmark(benchmark).modes]
-        for mode in modes:
-            result = harness.run(benchmark, mode, config)
-            by_key[(benchmark, mode)] = result
-        coupled = by_key[(benchmark, "coupled")].cycles
-        for mode in modes:
-            result = by_key[(benchmark, mode)]
-            rows.append({
-                "benchmark": benchmark,
-                "mode": mode,
-                "cycles": result.cycles,
-                "vs_coupled": result.cycles / coupled,
-                "fpu_util": result.fpu_util,
-                "iu_util": result.iu_util,
-                "paper_cycles": paper.TABLE2_CYCLES.get((benchmark, mode)),
-                "paper_vs_coupled": _paper_ratio(benchmark, mode),
-            })
+    for benchmark, mode in grid:
+        result = by_key.get((benchmark, mode))
+        if result is None:
+            continue
+        coupled = by_key.get((benchmark, "coupled"))
+        rows.append({
+            "benchmark": benchmark,
+            "mode": mode,
+            "cycles": result.cycles,
+            "vs_coupled": result.cycles / coupled.cycles
+            if coupled is not None else None,
+            "fpu_util": result.fpu_util,
+            "iu_util": result.iu_util,
+            "paper_cycles": paper.TABLE2_CYCLES.get((benchmark, mode)),
+            "paper_vs_coupled": _paper_ratio(benchmark, mode),
+        })
     return rows
 
 
@@ -50,7 +57,8 @@ def render(rows):
     for row in rows:
         table_rows.append([
             row["benchmark"], row["mode"], row["cycles"],
-            row["vs_coupled"], row["fpu_util"], row["iu_util"],
+            row["vs_coupled"] if row["vs_coupled"] is not None else "-",
+            row["fpu_util"], row["iu_util"],
             row["paper_cycles"] if row["paper_cycles"] is not None else "-",
             row["paper_vs_coupled"]
             if row["paper_vs_coupled"] is not None else "-",

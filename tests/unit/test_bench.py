@@ -8,7 +8,7 @@ from repro.machine import baseline
 
 
 def _report(cells, **top):
-    report = {"schema": 1, "results": cells}
+    report = {"schema": 2, "results": cells}
     report.update(top)
     return report
 
@@ -27,6 +27,19 @@ class TestAggregate:
 
     def test_empty_is_zero(self):
         assert aggregate_cycles_per_sec([]) == 0.0
+
+    def test_all_failed_is_zero(self):
+        # Failure records carry no measurements; an all-failed sweep
+        # must aggregate to 0.0, not divide by zero or KeyError.
+        failed = [{"benchmark": "a", "mode": "seq",
+                   "error_type": "WatchdogError", "message": "hung"}]
+        assert aggregate_cycles_per_sec(failed) == 0.0
+
+    def test_failed_records_are_skipped(self):
+        records = [_cell("a", "seq", 1000, 0.5),
+                   {"benchmark": "b", "mode": "seq",
+                    "error_type": "WorkerCrashError", "message": "died"}]
+        assert aggregate_cycles_per_sec(records) == 2000.0
 
 
 class TestCompareReports:
@@ -75,6 +88,47 @@ class TestCompareReports:
         problems = compare_reports(current, self.reference)
         assert problems == ["no shared (benchmark, mode) cells to "
                             "compare"]
+
+    def test_cell_failed_in_current_is_explicit_problem(self):
+        # A cell the reference measured but the fresh run collected as
+        # a failure is a regression — reported, never a KeyError.
+        current = _report(
+            [_cell("matrix", "seq", 100, 0.01)],
+            failed=[{"benchmark": "matrix", "mode": "coupled",
+                     "error_type": "WorkerCrashError",
+                     "message": "worker died"}])
+        problems = compare_reports(current, self.reference)
+        assert len(problems) == 1
+        assert "matrix/coupled" in problems[0]
+        assert "failed in current report" in problems[0]
+        assert "WorkerCrashError" in problems[0]
+
+    def test_cell_failed_in_reference_is_skipped(self):
+        reference = _report(
+            [_cell("matrix", "seq", 100, 0.01)],
+            failed=[{"benchmark": "matrix", "mode": "coupled",
+                     "error_type": "CellTimeoutError",
+                     "message": "timed out"}])
+        current = _report([_cell("matrix", "seq", 100, 0.01),
+                           _cell("matrix", "coupled", 80, 0.01)])
+        assert compare_reports(current, reference) == []
+
+    def test_malformed_failed_record_in_results_is_skipped(self):
+        # Defensive: a failure record accidentally placed in
+        # "results" must not crash the gate.
+        current = _report([_cell("matrix", "seq", 100, 0.01),
+                           {"benchmark": "matrix", "mode": "coupled",
+                            "error_type": "X", "message": "y"}])
+        problems = compare_reports(current, self.reference)
+        assert all("KeyError" not in p for p in problems)
+
+    def test_failed_cells_absent_from_delta_table(self):
+        current = _report([_cell("matrix", "seq", 100, 0.01),
+                           {"benchmark": "matrix", "mode": "coupled",
+                            "error_type": "X", "message": "y"}])
+        lines = delta_table(current, self.reference)
+        assert len(lines) == 2                 # header + matrix/seq
+        assert not any("coupled" in line for line in lines)
 
 
 class TestDeltaTable:
@@ -128,9 +182,12 @@ class TestBenchCommand:
     def test_report_schema_and_gate(self, tmp_path):
         code, text, report = self._run(tmp_path)
         assert code == 0
-        assert report["schema"] == 1
+        assert report["schema"] == 2
         assert report["engine"] == "event"
         assert report["fusion"] is True
+        assert report["on_error"] == "raise"
+        assert report["cell_timeout"] is None
+        assert report["failed"] == []
         assert report["aggregate_cycles_per_sec"] > 0
         for cell in report["results"]:
             assert cell["cycles"] > 0
@@ -165,6 +222,33 @@ class TestBenchCommand:
         assert code == 0
         assert report["engine"] == "event"
         assert report["fusion"] is False
+
+    def test_resume_journal_written_and_replayed(self, tmp_path):
+        journal = tmp_path / "sweep.journal.jsonl"
+        code, __, report = self._run(tmp_path, "--resume", str(journal))
+        assert code == 0
+        assert journal.exists()
+        lines = [json.loads(line)
+                 for line in journal.read_text().splitlines()]
+        assert lines[0]["kind"] == "header"
+        cells = [l for l in lines if l.get("kind") == "cell"]
+        assert len(cells) == len(report["results"])
+        assert all(cell["status"] == "ok" for cell in cells)
+        # A second run resuming from the journal replays every cell —
+        # same cycles, near-zero wall (nothing is re-simulated).
+        import io
+        out = io.StringIO()
+        path2 = tmp_path / "bench2.json"
+        code = main(["--quick", "-o", str(path2), "--no-compile-cache",
+                     "--resume", str(journal)], out=out)
+        assert code == 0
+        report2 = json.load(open(path2))
+        assert [(r["benchmark"], r["mode"], r["cycles"])
+                for r in report2["results"]] == \
+            [(r["benchmark"], r["mode"], r["cycles"])
+             for r in report["results"]]
+        # Journal unchanged: replayed cells are not re-recorded.
+        assert len(journal.read_text().splitlines()) == len(lines)
 
     def test_compare_warns_on_engine_mismatch(self, tmp_path):
         code, __, report = self._run(tmp_path, "--engine", "scan")

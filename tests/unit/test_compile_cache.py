@@ -109,6 +109,94 @@ class TestCompileCache:
             run_program(compiled.program, config).read_symbol("out")
 
 
+class TestStatsAndPrune:
+    def _fill(self, tmp_path, sizes):
+        """Create fake cache entries with increasing mtimes; returns
+        their paths oldest-first."""
+        paths = []
+        for index, size in enumerate(sizes):
+            path = tmp_path / ("entry%d.pkl" % index)
+            path.write_bytes(b"x" * size)
+            os.utime(path, (1000 + index, 1000 + index))
+            paths.append(path)
+        return paths
+
+    def test_stats_counts_entries_and_bytes(self, tmp_path):
+        cache = CompileCache(str(tmp_path))
+        self._fill(tmp_path, [100, 250])
+        (tmp_path / "not-an-entry.txt").write_text("ignored")
+        stats = cache.stats()
+        assert stats["root"] == str(tmp_path)
+        assert stats["entries"] == 2
+        assert stats["total_bytes"] == 350
+
+    def test_stats_on_missing_dir(self, tmp_path):
+        cache = CompileCache(str(tmp_path / "nonexistent"))
+        stats = cache.stats()
+        assert stats["entries"] == 0 and stats["total_bytes"] == 0
+
+    def test_prune_evicts_oldest_first(self, tmp_path):
+        cache = CompileCache(str(tmp_path))
+        paths = self._fill(tmp_path, [100, 100, 100])
+        removed, freed = cache.prune(max_bytes=150)
+        assert (removed, freed) == (2, 200)
+        assert not paths[0].exists() and not paths[1].exists()
+        assert paths[2].exists()                   # newest survives
+
+    def test_prune_noop_when_under_budget(self, tmp_path):
+        cache = CompileCache(str(tmp_path))
+        self._fill(tmp_path, [100])
+        assert cache.prune(max_bytes=1000) == (0, 0)
+        assert cache.stats()["entries"] == 1
+
+    def test_prune_to_zero_clears_everything(self, tmp_path):
+        cache = CompileCache(str(tmp_path))
+        self._fill(tmp_path, [10, 20, 30])
+        removed, freed = cache.prune(max_bytes=0)
+        assert removed == 3 and freed == 60
+        assert cache.stats()["entries"] == 0
+
+
+class TestCacheCommand:
+    def _run(self, *argv):
+        import io
+        from repro.cli import main
+        out = io.StringIO()
+        code = main(list(argv), out=out)
+        return code, out.getvalue()
+
+    def test_info(self, tmp_path):
+        (tmp_path / "a.pkl").write_bytes(b"x" * 64)
+        code, text = self._run("cache", "info", "--dir", str(tmp_path))
+        assert code == 0
+        assert "entries:       1" in text
+        assert "64 B" in text
+
+    def test_clear(self, tmp_path):
+        (tmp_path / "a.pkl").write_bytes(b"x")
+        (tmp_path / "b.pkl").write_bytes(b"y")
+        code, text = self._run("cache", "clear", "--dir", str(tmp_path))
+        assert code == 0
+        assert "removed 2 entries" in text
+        assert not list(tmp_path.glob("*.pkl"))
+
+    def test_prune_requires_max_bytes(self, tmp_path):
+        import pytest
+        with pytest.raises(SystemExit):
+            self._run("cache", "prune", "--dir", str(tmp_path))
+
+    def test_prune(self, tmp_path):
+        for index in range(3):
+            path = tmp_path / ("e%d.pkl" % index)
+            path.write_bytes(b"x" * 100)
+            os.utime(path, (1000 + index, 1000 + index))
+        code, text = self._run("cache", "prune", "--dir", str(tmp_path),
+                               "--max-bytes", "150")
+        assert code == 0
+        assert "pruned 2 entries" in text
+        assert "1 left" in text
+
+
 class TestEnvironmentControls:
     def test_cache_dir_override(self, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
