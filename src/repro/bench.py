@@ -35,11 +35,13 @@ append-only ledger of completed cells so an interrupted bench re-runs
 only the remainder (see docs/internals.md, "Supervised sweep
 execution").
 
-Output schema (version 2; additions over version 1 are additive —
-``failed``, ``on_error``, ``cell_timeout``)::
+Output schema (version 3; every version bump so far is additive —
+version 2 added ``failed``, ``on_error``, ``cell_timeout``; version 3
+added per-cell ``fused_dispatches``, the superblock dispatch count the
+CI fusion leg gates on)::
 
     {
-      "schema": 2,
+      "schema": 3,
       "date": "YYYYMMDD",
       "suite": "full" | "quick",
       "workers": N,
@@ -55,6 +57,8 @@ Output schema (version 2; additions over version 1 are additive —
         {"benchmark": ..., "mode": ..., "cycles": int,
          "operations": int, "wall_s": float, "compile_s": float,
          "cache_hit": bool, "cycles_per_sec": float,
+         "fused_dispatches": int,    # superblock dispatches (0 when
+                                     # fusion is off or never fired)
          "stats": {<Stats.summary()>}},
         ...
       ],
@@ -83,7 +87,7 @@ from .programs.suite import BENCHMARK_ORDER
 #: clock, so --quick drops it).
 QUICK_BENCHMARKS = ("matrix", "fft", "model")
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 
 def suite_specs(quick=False, config=None):
@@ -120,6 +124,12 @@ def run_suite(harness, specs, workers=None, on_error="raise",
             "compile_s": round(result.compile_seconds, 6),
             "cache_hit": result.cache_hit,
             "cycles_per_sec": round(result.cycles_per_second, 1),
+            # Deliberately outside "stats": summary() stays
+            # digest-identical between fused and unfused runs, but the
+            # CI fusion leg needs the dispatch count to prove fusion
+            # actually fired on the cells it targets.
+            "fused_dispatches":
+                getattr(result.stats, "fused_dispatches", 0),
             "stats": result.stats.summary(),
         })
     return records, failed

@@ -318,7 +318,9 @@ class Harness:
                 record["benchmark"], record["mode"],
                 spec.config or baseline(), record["cycles"],
                 dict(record["utilization"]),
-                ReplayedStats(record["stats"]),
+                ReplayedStats(record["stats"],
+                              fused_dispatches=record.get(
+                                  "fused_dispatches", 0)),
                 None, None, record.get("verified", True),
                 wall_seconds=record.get("wall_seconds", 0.0),
                 compile_seconds=record.get("compile_seconds", 0.0),
@@ -354,6 +356,8 @@ def _journal_record(result):
             "cycles": result.cycles,
             "utilization": dict(result.utilization),
             "stats": result.stats.summary(),
+            "fused_dispatches":
+                getattr(result.stats, "fused_dispatches", 0),
             "verified": result.verified,
             "wall_seconds": result.wall_seconds,
             "compile_seconds": result.compile_seconds,

@@ -109,10 +109,14 @@ class ReplayedStats:
     :meth:`~repro.sim.stats.Stats.summary` dict and the counters the
     report generators read, without a live simulation behind it."""
 
-    def __init__(self, summary):
+    def __init__(self, summary, fused_dispatches=0):
         self._summary = dict(summary)
         self.cycles = self._summary.get("cycles", 0)
         self.total_operations = self._summary.get("operations", 0)
+        # Not part of summary() (engine bookkeeping, kept out so fused
+        # and unfused digests match); journaled separately so a
+        # resumed bench still reports it per cell.
+        self.fused_dispatches = fused_dispatches
 
     def summary(self):
         return dict(self._summary)

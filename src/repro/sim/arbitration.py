@@ -82,7 +82,17 @@ class RoundRobinArbiter:
     def advance(self, cycles, threads=()):
         """Account for ``cycles`` skipped quiet cycles, during which the
         scan head would have walked once per cycle over a stable
-        ``threads`` population."""
+        ``threads`` population.
+
+        ``threads`` is the population *during the window* — the caller
+        (the fast-forward path) only jumps when no thread can act, so
+        the set cannot change mid-window.  The resume point needs no
+        stability before the window: the first scan position is found by
+        searching for the next tid >= ``_next`` in the *current* list,
+        the same self-healing lookup :meth:`order` does, so a population
+        that shrank or grew between the last scan and the jump resumes
+        exactly where repeated :meth:`order` calls would (regression:
+        ``test_advance_after_population_churn``)."""
         tids = sorted(t.tid for t in threads)
         if cycles <= 0 or not tids:
             return

@@ -33,6 +33,7 @@ is bit-identical to the scan kernel; ``tests/property`` enforces this.
 """
 
 import copy
+from bisect import bisect_left
 from collections import defaultdict
 from heapq import heappop, heappush
 
@@ -40,8 +41,37 @@ from ..errors import SimulationError
 from .function_unit import WritebackEntry
 from .memory import MemRequest
 from .node import Node, SimResult
-from .predecode import decode_program
+from .predecode import _WARMUP_DISPATCHES, compile_mt_run, decode_program
 from .thread import DONE
+
+#: Interleaved fusion caps the alignment width: the compile cost and
+#: closure size grow with the thread count, while the probability of
+#: the same alignment recurring falls off sharply past a handful of
+#: threads.
+_MT_MAX_SLOTS = 8
+# Interleaved spans are compiled against a cycle horizon: long spans
+# amortize dispatch overhead but fail their run-time guards more often
+# (branch assumptions, memory hazards), so each alignment starts at
+# _MT_HORIZON and halves on repeated failures down to _MT_MIN_HORIZON.
+_MT_HORIZON = 64
+_MT_MIN_HORIZON = 4
+_MT_FAIL_LIMIT = 4
+# Interleaved blocks are built by the cheap table-driven backend
+# (~0.2ms), so they warm up fast and earn upgrades by dispatch count:
+# a successful alignment is re-scheduled once its branch profile has
+# matured (longer spans), retried once after a failed compile, and
+# promoted to a generated closure when hot enough to amortize real
+# codegen (see MTBlockPlan.promote).
+_MT_WARMUP = 4
+_MT_RETRY_BACKOFF = 64       # sightings before retrying a failed compile
+# Schedule-building spend is bounded by what fusion has earned back: a
+# node may build at most 8 + 4*successes interleaved schedules, so a
+# workload whose alignments never recur stops paying compile cost
+# almost immediately while a fusion-friendly one is unconstrained.
+_MT_BUILD_BASE = 64
+_MT_BUILD_PER_HIT = 4
+_MT_EXTEND_AFTER = 24        # successes before one bias-matured rebuild
+_MT_PROMOTE = 64             # successes before codegen promotion
 
 
 class EventNode(Node):
@@ -83,6 +113,20 @@ class EventNode(Node):
         # writeback), and no observer expecting per-issue callbacks.
         self._fusion = (getattr(config, "fusion", True)
                         and self._direct_wb and observer is None)
+        # Interleaved superblocks, keyed by runnable-set alignment (see
+        # _try_fuse_mt).  Not snapshot state: compilation is
+        # deterministic, so a restored node just re-warms its table.
+        self._mt_table = {}
+        self._mt_heat = {}
+        self._mt_retried = set()
+        self._mt_builds = 0
+        self._mt_hits = 0
+        # Per-plan conditional-branch direction profile: [taken,
+        # untaken] resolution counts.  compile_mt_run follows a branch
+        # only while the observed direction — and the cumulative
+        # probability across every branch followed so far — stays
+        # decisive.
+        self._br_bias = {}
         self._adv_any = False        # some thread may advance this cycle
         # Arbiter scan order, rebuilt only when membership changes.
         self._order = []
@@ -138,6 +182,16 @@ class EventNode(Node):
             if plan.is_memory:
                 memory.submit(payload, cycle)
             elif plan.is_bru:
+                if plan.untaken_payload is not None:
+                    # Conditional branch: feed the direction profile the
+                    # interleaved-superblock compiler schedules from.
+                    counts = self._br_bias.get(plan)
+                    if counts is None:
+                        counts = self._br_bias[plan] = [0, 0]
+                    if payload is plan.taken_payload:
+                        counts[0] += 1
+                    else:
+                        counts[1] += 1
                 self._resolve_plan_control(thread, payload)
             elif direct:
                 triples = plan.dest_triples
@@ -586,9 +640,13 @@ class EventNode(Node):
             issued = 0
             if fusion and not pipe and not wake_heap \
                     and not self._wb_count and not self._spawn_queue \
-                    and len(self.active) == 1:
-                end = self._try_fuse(cycle, max_cycles, watchdog_cycles,
-                                     pause_at)
+                    and self.active:
+                if len(self.active) == 1:
+                    end = self._try_fuse(cycle, max_cycles,
+                                         watchdog_cycles, pause_at)
+                else:
+                    end = self._try_fuse_mt(cycle, max_cycles,
+                                            watchdog_cycles, pause_at)
                 if end is not None:
                     cycle = end
                     issued = 1
@@ -647,6 +705,17 @@ class EventNode(Node):
                     wake = event
                 if wake_heap and (wake is None or wake_heap[0][0] < wake):
                     wake = wake_heap[0][0]
+                if self._use_opcache:
+                    # In-flight operation-cache fills count as
+                    # in_flight above but live in no heap: a thread can
+                    # be pinned awake on a fill (its park was vetoed by
+                    # an arbitration loss or a shared fill it did not
+                    # start), leaving the fill's completion cycle as
+                    # the only upcoming event.  Without this candidate
+                    # the jump would overshoot it — or never happen.
+                    fill = self._next_fill_ready()
+                    if fill is not None and (wake is None or fill < wake):
+                        wake = fill
                 if wake is not None:
                     target = min(wake, max_cycles - 1)
                     if watchdog_cycles is not None:
@@ -671,10 +740,12 @@ class EventNode(Node):
         spawn queue empty and exactly one active thread, so the machine
         state a block's static schedule assumes is fully determined by
         the remaining guards: the thread is at a block entry with its
-        word un-issued, the memory system is quiescent, every register
-        presence bit is valid, and (with an operation cache) every line
-        the block touches is resident.  Returns the new current cycle,
-        or None to fall back to the interpreted path.
+        word un-issued, no timed memory event is due inside the span
+        (busy addresses are guarded per access inside the closure),
+        every register presence bit is valid, and (with an operation
+        cache) every line the block touches is resident.  Returns the
+        new current cycle, or None to fall back to the interpreted
+        path.
         """
         thread = self.active[0]
         if thread.parked or thread.control_inflight:
@@ -686,7 +757,15 @@ class EventNode(Node):
         if block is None \
                 or len(thread.pending_plans) != block.n_plans:
             return None
-        if not self.memory.idle():
+        # Memory-tolerant span: an in-service or deferred access whose
+        # completion falls past the block's last cycle cannot interact
+        # with it (per-address collisions are guarded in the closure),
+        # so clamp against the next timed event instead of demanding
+        # full quiescence.  Parked sync waiters have no timed event at
+        # all — they only move when a presence bit changes, which the
+        # closure's per-store guard rejects — so they impose no clamp.
+        event = self.memory.next_event_cycle()
+        if event is not None and event <= cycle + block.last_rel:
             return None
         span = block.last_rel + 1
         if cycle + span >= max_cycles:
@@ -704,7 +783,197 @@ class EventNode(Node):
                 cache = units[index].opcache
                 if cache is not None and key not in cache._lines:
                     return None
-        return block.fn(self, thread, cycle)
+        end = block.fn(self, thread, cycle)
+        if end is not None:
+            self.stats.fused_dispatches += 1
+        return end
+
+    def _try_fuse_mt(self, cycle, max_cycles, watchdog_cycles, pause_at):
+        """Dispatch a compiled interleaved superblock over the current
+        runnable set (see :func:`repro.sim.predecode.compile_mt_run`).
+
+        Called under the same emptiness preconditions as
+        :meth:`_try_fuse` but with N > 1 active threads.  The runnable
+        set is keyed by its *alignment* — per arbiter scan position,
+        the (program, ip) of a runnable thread at a fully un-issued
+        word, or None for a parked one.  For round-robin the key is
+        rotated to the scan head first, so one compiled schedule serves
+        every entry state with the same rotated alignment.  The span is
+        clamped exactly like the single-thread path; parked threads
+        cannot wake inside it (every in-span landing belongs to a
+        scheduled thread, and presence-changing stores to addresses
+        with parked waiters are guarded in the closure).
+        """
+        if self._use_opcache:
+            return None
+        if self._order_dirty:
+            self._rebuild_order()
+        order = self._order
+        if len(order) > _MT_MAX_SLOTS:
+            return None
+        tids = self._order_tids
+        if tids is not None:
+            # Peek at the rotation without consuming it: the closure
+            # commits the arbiter's resume point itself, and a guard
+            # failure must leave the interpreted scan untouched.
+            start = bisect_left(tids, self.arbiter._next)
+            if start >= len(tids):
+                start = 0
+            if start:
+                order = order[start:] + order[:start]
+        # Only the hashable alignment key is built here, every call;
+        # the decoded-object slot tuple the compiler needs is
+        # reconstructed from ``order`` at the (rare) compile site —
+        # alignments that never warm up, the common case on irregular
+        # cells, then cost one tuple per thread instead of two.
+        key_parts = []
+        nsched = 0
+        for thread in order:
+            if thread.parked:
+                key_parts.append(None)
+                continue
+            if thread.control_inflight:
+                return None
+            decoded = thread.decoded
+            if decoded is None:
+                return None
+            ip = thread.ip
+            words = decoded.words
+            if ip >= len(words):
+                return None
+            word_plans = words[ip].plans
+            pending = thread.pending_plans
+            if len(pending) == len(word_plans):
+                key_parts.append((decoded.name, ip))
+            elif not pending:
+                return None
+            else:
+                # Partially issued word: the un-issued remainder is an
+                # ordered subsequence of the word's slots (issue
+                # removes plans in place), so a single two-pointer walk
+                # pins it as a position bitmask and the alignment stays
+                # compilable mid-word.
+                mask = 0
+                take = 0
+                npend = len(pending)
+                for pos, plan in enumerate(word_plans):
+                    if take < npend and plan is pending[take]:
+                        mask |= 1 << pos
+                        take += 1
+                if take != npend:
+                    return None
+                key_parts.append((decoded.name, ip, mask))
+            nsched += 1
+        if not nsched:
+            return None
+        key = tuple(key_parts)
+        entry = self._mt_table.get(key, False)
+        if entry is False:
+            heat = self._mt_heat.get(key, 0) + 1
+            if heat < _MT_WARMUP:
+                self._mt_heat[key] = heat
+                return None
+            if self._mt_builds >= _MT_BUILD_BASE \
+                    + _MT_BUILD_PER_HIT * self._mt_hits:
+                return None
+            self._mt_heat.pop(key, None)
+            self._mt_builds += 1
+            slots = tuple(
+                None if part is None
+                else (thread.decoded, part[1]) if len(part) == 2
+                else (thread.decoded, part[1], part[2])
+                for thread, part in zip(order, key_parts))
+            block = compile_mt_run(slots, self.config,
+                                   self.config.arbitration, _MT_HORIZON,
+                                   self._br_bias)
+            if block is None:
+                # Often a cold branch profile: give the alignment one
+                # more shot after its profile has had time to mature,
+                # then go inert for good.
+                if key in self._mt_retried:
+                    self._mt_table[key] = None
+                else:
+                    self._mt_retried.add(key)
+                    self._mt_heat[key] = -_MT_RETRY_BACKOFF
+                return None
+            entry = [block, _MT_HORIZON, 0, 0, slots]
+            self._mt_table[key] = entry
+        if entry is None:
+            return None
+        block = entry[0]
+        last_rel = block.last_rel
+        if cycle + last_rel + 1 >= max_cycles:
+            return None
+        if watchdog_cycles is not None \
+                and watchdog_cycles <= last_rel + 1:
+            return None
+        if pause_at is not None and pause_at <= cycle + last_rel:
+            return None
+        event = self.memory.next_event_cycle()
+        if event is not None and event <= cycle + last_rel:
+            return None
+        for thread in order:
+            if not thread.parked:
+                for frame in thread.frames.values():
+                    if frame._invalid:
+                        return None
+        end = block.fn(self, order, cycle)
+        if end is None:
+            # A run-time guard bailed (branch assumption missed, or a
+            # memory hazard mid-span).  Long schedules make both more
+            # likely, so keep a failure score per alignment and halve
+            # the span horizon when it keeps missing; alignments that
+            # cannot fuse even at the minimum horizon go inert.
+            entry[2] += 1
+            if entry[2] >= _MT_FAIL_LIMIT:
+                horizon = entry[1] // 2
+                block = None
+                if horizon >= _MT_MIN_HORIZON:
+                    self._mt_builds += 1
+                    block = compile_mt_run(entry[4], self.config,
+                                           self.config.arbitration,
+                                           horizon, self._br_bias)
+                if block is None:
+                    self._mt_table[key] = None
+                else:
+                    entry[0] = block
+                    entry[1] = horizon
+                    entry[2] = 0
+            return None
+        if entry[2]:
+            entry[2] -= 1
+        self._mt_hits += 1
+        entry[3] += 1
+        if entry[3] == _MT_EXTEND_AFTER \
+                and block.last_rel + 1 < entry[1]:
+            # The span ended well short of the horizon, usually because
+            # the branch profile was still cold at compile time; one
+            # rebuild against the matured profile can only lengthen it.
+            # The threads have already advanced past the span, so the
+            # rebuild must use the entry slots saved at compile time.
+            self._mt_builds += 1
+            rebuilt = compile_mt_run(entry[4], self.config,
+                                     self.config.arbitration, entry[1],
+                                     self._br_bias)
+            if rebuilt is not None \
+                    and rebuilt.last_rel > block.last_rel:
+                entry[0] = rebuilt
+        elif entry[3] == _MT_PROMOTE:
+            block.promote()
+        self.stats.fused_dispatches += 1
+        return end
+
+    def _next_fill_ready(self):
+        """The earliest completion cycle among in-flight operation-
+        cache fills, or None when no fill is pending."""
+        wake = None
+        for unit in self._units_list:
+            cache = unit.opcache
+            if cache is not None and cache._fills:
+                ready = cache.next_fill_ready()
+                if wake is None or ready < wake:
+                    wake = ready
+        return wake
 
     def _any_fills(self):
         if self.config.op_cache is None:

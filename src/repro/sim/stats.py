@@ -42,6 +42,12 @@ class Stats:
         self.fault_blackout_stalls = 0
         self.fault_presence_stalls = 0
         self.spawn_queue_waits = 0
+        # Superblock dispatches executed by the fused event kernel.  An
+        # engine implementation detail, not an architectural quantity:
+        # deliberately absent from summary() so fused and unfused runs
+        # stay digest-identical, and excluded from the equivalence
+        # suite's stats comparison.
+        self.fused_dispatches = 0
         self.threads_spawned = 0
         self.threads_finished = 0
         self.peak_active_threads = 0

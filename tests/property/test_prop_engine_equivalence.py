@@ -54,6 +54,11 @@ def _assert_identical(reference, other, label="event"):
     ref_stats = dict(reference.stats.__dict__)
     other_stats = dict(other.stats.__dict__)
     for key in sorted(set(ref_stats) | set(other_stats)):
+        if key.startswith("fused"):
+            # Engine bookkeeping, not an architectural quantity: the
+            # fused kernel counts its superblock dispatches, the scan
+            # kernel never fuses at all.
+            continue
         assert other_stats.get(key) == ref_stats.get(key), \
             "stats.%s diverged: reference=%r %s=%r" \
             % (key, ref_stats.get(key), label, other_stats.get(key))
@@ -125,6 +130,157 @@ def test_identical_with_operation_cache():
         "lud", "seq",
         mutate=lambda c: c.with_op_cache(OpCacheSpec(capacity=8,
                                                      fill_penalty=4))))
+
+
+class TestInterleavedFusion:
+    """The interleaved (multithreaded) superblock paths must actually
+    fire on the cells they target — a guard regression that silently
+    turns fusion off would otherwise keep every equivalence test green
+    while losing the speedup."""
+
+    def _fused_node(self, benchmark, mode, mutate=None):
+        bench = get_benchmark(benchmark)
+        inputs = bench.make_inputs(1)
+        config = baseline().with_engine("event").with_fusion(True)
+        if mutate is not None:
+            config = mutate(config)
+        compiled = compile_program(bench.source(mode), config, mode=mode)
+        node = make_node(config)
+        node.run(compiled.program, overrides=inputs)
+        return node
+
+    @pytest.mark.parametrize("bench_name,mode",
+                             [("lud", "tpe"), ("lud", "coupled")])
+    def test_multithreaded_entry_fires_and_matches(self, bench_name,
+                                                   mode):
+        """Cells with several runnable threads must dispatch compiled
+        interleavings (not just single-thread blocks) and still match
+        the scan kernel bit for bit."""
+        _assert_three_way(_run_all(bench_name, mode))
+        node = self._fused_node(bench_name, mode)
+        assert node.stats.fused_dispatches > 0
+        # The interleaved table itself must have fired: at least one
+        # multi-slot alignment compiled and was dispatched.
+        assert node._mt_hits > 0
+
+    def test_busy_memory_spans_fire(self):
+        """Spans must dispatch while timed memory completions are in
+        flight beyond the span end (the old guard demanded a fully
+        idle memory system, which never holds on these cells)."""
+        node = self._fused_node("lud", "coupled")
+        assert node._mt_hits > 0
+        assert node.stats.fused_dispatches > 0
+        _assert_three_way(_run_all("lud", "coupled"))
+
+    def test_round_robin_interleaving_identical(self):
+        """Round-robin rotation is baked into the compiled schedule;
+        the resume point must land exactly where the interpreted scan
+        would leave it."""
+        _assert_three_way(_run_all(
+            "lud", "tpe",
+            mutate=lambda c: c.with_arbitration("round-robin")))
+        node = self._fused_node(
+            "lud", "tpe",
+            mutate=lambda c: c.with_arbitration("round-robin"))
+        assert node._mt_hits > 0
+
+    @pytest.mark.parametrize("pause_at", [400, 2001])
+    def test_mid_span_snapshot_defuses_multithreaded(self, pause_at):
+        """Pausing inside a multithreaded run de-fuses at the pause
+        boundary (the pause clamp rejects any span crossing it), and
+        both the original and a restored copy resume bit-identically."""
+        fused = baseline().with_engine("event").with_fusion(True)
+        plain = fused.with_fusion(False)
+        bench = get_benchmark("lud")
+        inputs = bench.make_inputs(1)
+        compiled = compile_program(bench.source("coupled"), fused,
+                                   mode="coupled")
+        node = make_node(fused)
+        assert node.run(compiled.program, overrides=inputs,
+                        pause_at=pause_at) is None
+        assert node.cycle == pause_at
+        reference = run_program(
+            compile_program(bench.source("coupled"), plain,
+                            mode="coupled").program,
+            plain, overrides=inputs)
+        restored = Node.restore(node.snapshot())
+        assert isinstance(restored, EventNode)
+        _assert_identical(reference, restored.resume(), "restored")
+        _assert_identical(reference, node.resume(), "resumed")
+
+
+class TestPauseClampBoundary:
+    """The pause clamp is exact, for both dispatch paths: a superblock
+    whose last simulated cycle is ``pause_at - 1`` still fuses, while
+    the same block with the pause one cycle earlier is rejected and the
+    kernel falls back word-by-word so the run stops on exactly the
+    requested cycle.  An off-by-one in either direction would show up
+    here: too strict and fusion silently sheds spans near any pause,
+    too loose and a pause lands mid-span."""
+
+    CASES = [("lud", "seq", "_try_fuse"),
+             ("lud", "tpe", "_try_fuse_mt")]
+
+    def _spied_run(self, bench_name, mode, method, pause_at=None):
+        """Run fused, recording every successful dispatch as a
+        ``(entry_cycle, end_cycle)`` pair (the closure returns the
+        span's last simulated cycle)."""
+        config = baseline().with_engine("event").with_fusion(True)
+        bench = get_benchmark(bench_name)
+        compiled = compile_program(bench.source(mode), config, mode=mode)
+        node = make_node(config)
+        dispatches = []
+        orig = getattr(node, method)
+
+        def spy(cycle, max_cycles, watchdog_cycles, pause):
+            end = orig(cycle, max_cycles, watchdog_cycles, pause)
+            if end is not None:
+                dispatches.append((cycle, end))
+            return end
+
+        setattr(node, method, spy)
+        node.run(compiled.program, overrides=bench.make_inputs(1),
+                 pause_at=pause_at)
+        return node, dispatches
+
+    def _reference(self, bench_name, mode):
+        plain = baseline().with_engine("event").with_fusion(False)
+        bench = get_benchmark(bench_name)
+        compiled = compile_program(bench.source(mode), plain, mode=mode)
+        return run_program(compiled.program, plain,
+                           overrides=bench.make_inputs(1))
+
+    @pytest.mark.parametrize("bench_name,mode,method", CASES)
+    def test_span_ending_at_pause_minus_one_fuses(self, bench_name, mode,
+                                                  method):
+        __, dispatches = self._spied_run(bench_name, mode, method)
+        assert dispatches, "no fused dispatches to anchor the boundary"
+        c0, end0 = dispatches[len(dispatches) // 2]
+        # Spans never overlap, so every earlier dispatch ends before c0
+        # and is untouched by this pause; the chosen span's last cycle
+        # is exactly pause_at - 1 and must still dispatch.
+        node, paused = self._spied_run(bench_name, mode, method,
+                                       pause_at=end0 + 1)
+        assert (c0, end0) in paused
+        assert node.cycle == end0 + 1
+        _assert_identical(self._reference(bench_name, mode),
+                          node.resume(), "resumed")
+
+    @pytest.mark.parametrize("bench_name,mode,method", CASES)
+    def test_span_crossing_pause_rejected(self, bench_name, mode, method):
+        __, dispatches = self._spied_run(bench_name, mode, method)
+        assert dispatches
+        c0, end0 = dispatches[len(dispatches) // 2]
+        # pause_at == end0: the span's last cycle would land on the
+        # pause, so the dispatch must be rejected and the word-by-word
+        # fallback must stop on exactly the requested cycle.
+        node, paused = self._spied_run(bench_name, mode, method,
+                                       pause_at=end0)
+        assert (c0, end0) not in paused
+        assert all(end < end0 for __, end in paused)
+        assert node.cycle == end0
+        _assert_identical(self._reference(bench_name, mode),
+                          node.resume(), "resumed")
 
 
 class TestSnapshotRestore:

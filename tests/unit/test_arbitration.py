@@ -84,6 +84,40 @@ class TestRoundRobin:
         assert [t.tid for t in stepped.order(threads, 99)] == \
                [t.tid for t in jumped.order(threads, 99)]
 
+    def test_advance_after_population_churn(self):
+        # Regression for the fast-forward resume point: the population
+        # may have churned *between* the last scan and the jump (the
+        # previously-served thread retired, new tids spawned).  The
+        # first scan position self-heals — advance() searches for the
+        # next tid >= _next in the *current* list, exactly like
+        # order() — so the jump must land where repeated order() calls
+        # over the new population would.
+        for skipped in (1, 2, 3, 5, 8):
+            stepped, jumped = RoundRobinArbiter(), RoundRobinArbiter()
+            old = [FakeThread(0), FakeThread(1), FakeThread(2)]
+            stepped.order(old, 0)                    # serves tid 0
+            jumped.order(old, 0)
+            # Threads 1 and 2 retire; 4 and 9 spawn.  The stale resume
+            # point (_next == 1) names a tid that no longer exists.
+            new = [FakeThread(0), FakeThread(4), FakeThread(9)]
+            for cycle in range(skipped):
+                stepped.order(new, cycle + 1)
+            jumped.advance(skipped, new)
+            assert stepped._next == jumped._next, \
+                "resume point diverged after %d skipped cycles" % skipped
+            assert [t.tid for t in stepped.order(new, 99)] == \
+                   [t.tid for t in jumped.order(new, 99)]
+
+    def test_advance_resume_point_past_highest_tid(self):
+        # A resume point beyond every live tid wraps to the lowest tid,
+        # in advance() just as in order().
+        stepped, jumped = RoundRobinArbiter(), RoundRobinArbiter()
+        threads = [FakeThread(3), FakeThread(6)]
+        stepped._next = jumped._next = 7             # past tid 6: wraps
+        stepped.order(threads, 0)
+        jumped.advance(1, threads)
+        assert stepped._next == jumped._next
+
     def test_advance_noop_cases(self):
         arbiter = RoundRobinArbiter()
         arbiter.order([FakeThread(0), FakeThread(1)], 0)

@@ -182,7 +182,7 @@ class TestBenchCommand:
     def test_report_schema_and_gate(self, tmp_path):
         code, text, report = self._run(tmp_path)
         assert code == 0
-        assert report["schema"] == 2
+        assert report["schema"] == 3
         assert report["engine"] == "event"
         assert report["fusion"] is True
         assert report["on_error"] == "raise"
@@ -192,6 +192,13 @@ class TestBenchCommand:
         for cell in report["results"]:
             assert cell["cycles"] > 0
             assert cell["cache_hit"] is False    # cache disabled
+            # Per-cell dispatch count rides outside "stats" (which
+            # stays digest-identical across kernels); the CI fusion
+            # leg gates on it being nonzero where fusion must fire.
+            assert cell["fused_dispatches"] >= 0
+            assert "fused_dispatches" not in cell["stats"]
+        assert any(cell["fused_dispatches"] > 0
+                   for cell in report["results"])
         # A second run compared against the first must pass the gate.
         # Wall clock inside the test process is noisy, so relax the
         # throughput threshold; the threshold logic itself is covered
@@ -222,6 +229,8 @@ class TestBenchCommand:
         assert code == 0
         assert report["engine"] == "event"
         assert report["fusion"] is False
+        assert all(cell["fused_dispatches"] == 0
+                   for cell in report["results"])
 
     def test_resume_journal_written_and_replayed(self, tmp_path):
         journal = tmp_path / "sweep.journal.jsonl"
@@ -247,6 +256,9 @@ class TestBenchCommand:
                 for r in report2["results"]] == \
             [(r["benchmark"], r["mode"], r["cycles"])
              for r in report["results"]]
+        # Replayed cells keep their journaled dispatch counts.
+        assert [r["fused_dispatches"] for r in report2["results"]] == \
+            [r["fused_dispatches"] for r in report["results"]]
         # Journal unchanged: replayed cells are not re-recorded.
         assert len(journal.read_text().splitlines()) == len(lines)
 

@@ -12,7 +12,7 @@ import pytest
 from repro import WatchdogError, baseline, compile_program, run_program
 from repro.machine import MEMORY_MODELS
 from repro.machine.memory import MemorySpec
-from repro.sim.node import Node
+from repro.sim.node import Node, make_node
 from repro.sim.opcache import OpCacheSpec
 
 SOURCE = """
@@ -85,6 +85,26 @@ class TestBitIdentity:
         __, fast, slow = pair(config)
         assert fast.cycles == slow.cycles
         assert fast.stats.summary() == slow.stats.summary()
+
+    def test_identical_with_opcache_fills_event_engine(self):
+        # Regression: the event kernel's skip-ahead jump assembled its
+        # wake candidates from the pipeline heap, the memory system,
+        # and the wake queue only.  An in-flight operation-cache fill
+        # lives in none of them, yet it can pin a thread awake (a park
+        # vetoed by an arbitration loss, or a shared fill the thread
+        # did not start) — leaving the fill's completion as the only
+        # upcoming event.  Without the fill candidate the jump
+        # overshoots it; the fast-forwarded run must stay bit-identical
+        # and must still actually skip.
+        config = slow_config().with_engine("event").with_op_cache(
+            OpCacheSpec(capacity=4, fill_penalty=9))
+        compiled, fast, slow = pair(config)
+        assert fast.cycles == slow.cycles
+        assert fast.stats.summary() == slow.stats.summary()
+        assert fast.read_symbol("B") == slow.read_symbol("B")
+        node = make_node(config, fast_forward=True)
+        node.run(compiled.program, overrides=INPUT)
+        assert node.ffwd_jumps > 0
 
     def test_identical_with_statistical_memory(self):
         # Random latencies: quiet cycles draw nothing from the RNG, so
