@@ -35,13 +35,15 @@ append-only ledger of completed cells so an interrupted bench re-runs
 only the remainder (see docs/internals.md, "Supervised sweep
 execution").
 
-Output schema (version 3; every version bump so far is additive —
+Output schema (version 4; every version bump so far is additive —
 version 2 added ``failed``, ``on_error``, ``cell_timeout``; version 3
 added per-cell ``fused_dispatches``, the superblock dispatch count the
-CI fusion leg gates on)::
+CI fusion leg gates on; version 4 added the run-level ``sanitize``
+level plus per-cell ``defuse_reasons`` and ``quarantined_blocks`` from
+the online state sanitizer)::
 
     {
-      "schema": 3,
+      "schema": 4,
       "date": "YYYYMMDD",
       "suite": "full" | "quick",
       "workers": N,
@@ -49,6 +51,7 @@ CI fusion leg gates on)::
       "fast_forward": bool,
       "engine": "event" | "scan",
       "fusion": bool,               # superblock fusion (event kernel)
+      "sanitize": "off" | "audit" | "shadow" | "deep",
       "on_error": "raise" | "collect",
       "cell_timeout": float | null,
       "total_wall_s": float,        # whole-suite wall clock
@@ -59,6 +62,8 @@ CI fusion leg gates on)::
          "cache_hit": bool, "cycles_per_sec": float,
          "fused_dispatches": int,    # superblock dispatches (0 when
                                      # fusion is off or never fired)
+         "defuse_reasons": {reason: int},  # fusion dispatch declines
+         "quarantined_blocks": int,  # sanitizer-quarantined entries
          "stats": {<Stats.summary()>}},
         ...
       ],
@@ -87,7 +92,7 @@ from .programs.suite import BENCHMARK_ORDER
 #: clock, so --quick drops it).
 QUICK_BENCHMARKS = ("matrix", "fft", "model")
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 
 def suite_specs(quick=False, config=None):
@@ -127,9 +132,14 @@ def run_suite(harness, specs, workers=None, on_error="raise",
             # Deliberately outside "stats": summary() stays
             # digest-identical between fused and unfused runs, but the
             # CI fusion leg needs the dispatch count to prove fusion
-            # actually fired on the cells it targets.
+            # actually fired on the cells it targets (and the sanitize
+            # leg reads the quarantine/de-fusion counters the same way).
             "fused_dispatches":
                 getattr(result.stats, "fused_dispatches", 0),
+            "defuse_reasons":
+                dict(getattr(result.stats, "defuse_reasons", None) or {}),
+            "quarantined_blocks":
+                getattr(result.stats, "quarantined_blocks", 0),
             "stats": result.stats.summary(),
         })
     return records, failed
@@ -300,6 +310,15 @@ def main(argv=None, out=None):
     parser.add_argument("--no-fusion", action="store_true",
                         help="disable superblock fusion (event kernel "
                              "falls back to word-by-word dispatch)")
+    parser.add_argument("--sanitize", nargs="?", const="audit",
+                        choices=("audit", "shadow", "deep"),
+                        default=None, metavar="LEVEL",
+                        help="run every cell under the online state "
+                             "sanitizer (audit = strided invariant "
+                             "checks; shadow adds differential "
+                             "execution against the unfused kernel; "
+                             "deep audits every cycle); bare --sanitize "
+                             "means audit")
     parser.add_argument("--on-error", choices=("raise", "collect"),
                         default="raise",
                         help="cell-failure policy: abort the sweep "
@@ -344,13 +363,21 @@ def main(argv=None, out=None):
     harness = Harness(seed=args.seed, check=not args.no_check,
                       fast_forward=not args.no_fast_forward,
                       compile_cache=False if args.no_compile_cache
-                      else "auto")
+                      else "auto", sanitize=args.sanitize)
     specs = suite_specs(quick=args.quick, config=config)
     date = time.strftime("%Y%m%d")
     path = args.output or bench_filename(date)
     journal = args.resume
     if journal == "auto":
         journal = str(path) + ".journal.jsonl"
+    if journal is not None:
+        # Stamp the report schema into the journal header so a resume
+        # against a journal written before a schema bump fails loudly
+        # instead of replaying cells that lack the new fields.
+        from .experiments.supervision import SweepJournal
+        journal = SweepJournal(journal,
+                               header={**harness._journal_header(),
+                                       "report_schema": SCHEMA_VERSION})
     started = time.perf_counter()
     records, failed = run_suite(harness, specs, workers=args.workers,
                                 on_error=args.on_error,
@@ -367,6 +394,7 @@ def main(argv=None, out=None):
         "fast_forward": not args.no_fast_forward,
         "engine": config.engine,
         "fusion": config.fusion,
+        "sanitize": args.sanitize or "off",
         "on_error": args.on_error,
         "cell_timeout": args.cell_timeout,
         "total_wall_s": round(total_wall, 6),

@@ -7,6 +7,8 @@
     python -m repro run prog.s --asm --trace --window 60
     python -m repro run prog.sexp --profile 20   # cProfile hotspots
     python -m repro run prog.sexp --engine scan  # force the scan kernel
+    python -m repro run prog.sexp --sanitize shadow  # online sanitizer
+    python -m repro replay sanitizer-reports/main-divergence-cycle4097
     python -m repro modes            # list machine modes
     python -m repro describe         # show the baseline machine
     python -m repro bench --quick    # benchmark the simulator itself
@@ -97,19 +99,37 @@ def cmd_run(args, out):
     program, __ = _load_program(args, config)
     overrides = _parse_overrides(args.set)
     recorder = TraceRecorder() if args.trace else None
-    node = make_node(config, observer=recorder)
     profiler = None
     if args.profile is not None:
         import cProfile
         profiler = cProfile.Profile()
         profiler.enable()
-    result = node.run(program, overrides=overrides,
-                      max_cycles=args.max_cycles,
-                      watchdog_cycles=args.watchdog_cycles)
+    if args.sanitize:
+        from .sim.sanitize import run_sanitized
+        result = run_sanitized(program, config, overrides=overrides,
+                               max_cycles=args.max_cycles,
+                               watchdog_cycles=args.watchdog_cycles,
+                               observer=recorder, policy=args.sanitize)
+    else:
+        node = make_node(config, observer=recorder)
+        result = node.run(program, overrides=overrides,
+                          max_cycles=args.max_cycles,
+                          watchdog_cycles=args.watchdog_cycles)
     if profiler is not None:
         profiler.disable()
     out.write("cycles: %d\n" % result.cycles)
     out.write("stats:  %s\n" % result.stats)
+    summary = getattr(result, "sanitizer", None)
+    if summary is not None:
+        out.write("sanitizer: level=%s audits=%d shadow_checks=%d "
+                  "trips=%d quarantined=%d%s\n"
+                  % (summary.level, summary.audits,
+                     summary.shadow_checks, summary.trips,
+                     len(summary.quarantined),
+                     " de-optimized" if summary.de_optimized else ""))
+        for path in summary.reports:
+            out.write("sanitizer report: %s (replay with: python -m "
+                      "repro replay %s)\n" % (path, path))
     for symbol in (args.print or sorted(program.data.symbols)):
         values = result.read_symbol(symbol)
         preview = values if len(values) <= 16 else values[:16] + ["..."]
@@ -132,6 +152,14 @@ def _profile_report(profiler, top):
     stats = pstats.Stats(profiler, stream=buf)
     stats.strip_dirs().sort_stats("cumulative").print_stats(top)
     return buf.getvalue()
+
+
+def cmd_replay(args, out):
+    """Deterministically re-execute a sanitizer reproducer bundle."""
+    from .sim.sanitize import replay_bundle
+    replay_bundle(args.bundle, out=lambda line: out.write(line + "\n"),
+                  max_cycles=args.max_cycles, trace=args.trace)
+    return 0
 
 
 def cmd_modes(args, out):
@@ -245,7 +273,30 @@ def main(argv=None, out=None):
                             help="profile the simulation and print the "
                                  "top N functions by cumulative time "
                                  "(default 15)")
+    run_parser.add_argument("--sanitize", nargs="?", const="audit",
+                            choices=("audit", "shadow", "deep"),
+                            default=None, metavar="LEVEL",
+                            help="run under the online state sanitizer "
+                                 "(audit = strided invariant checks; "
+                                 "shadow adds differential execution "
+                                 "against the unfused kernel; deep "
+                                 "audits every cycle); bare --sanitize "
+                                 "means audit")
     run_parser.set_defaults(func=cmd_run)
+
+    replay_parser = sub.add_parser(
+        "replay", help="re-execute a sanitizer reproducer bundle")
+    replay_parser.add_argument("bundle",
+                               help="bundle directory written by a "
+                                    "sanitizer trip (see sanitizer "
+                                    "report output)")
+    replay_parser.add_argument("--max-cycles", type=int, default=None,
+                               help="override the bundle's recorded "
+                                    "cycle budget")
+    replay_parser.add_argument("--trace", action="store_true",
+                               help="show the reference schedule "
+                                    "entering the divergence window")
+    replay_parser.set_defaults(func=cmd_replay)
 
     # Listed for --help only; real dispatch happens above.
     sub.add_parser("bench", add_help=False,

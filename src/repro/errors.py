@@ -44,12 +44,17 @@ class DeadlockError(SimulationError):
     thread; ``wait_for`` holds the detected wait-for cycle as a list of
     alternating thread/resource labels (empty when no cycle exists,
     e.g. a dangling wait on an address nothing will ever fill).
+    ``fusion`` (fused event kernel only) is a dict describing the
+    superblock machinery at the moment of death: last dispatched span
+    entry point, per-reason de-fusion counters, quarantined entries,
+    and the interleaved promotion-ladder state.
     """
 
-    def __init__(self, message, blocked=None, wait_for=None):
+    def __init__(self, message, blocked=None, wait_for=None, fusion=None):
         super().__init__(message)
         self.blocked = list(blocked or ())
         self.wait_for = list(wait_for or ())
+        self.fusion = fusion
 
 
 class WatchdogError(SimulationError):
@@ -59,15 +64,68 @@ class WatchdogError(SimulationError):
     ``cycle`` is where the run was cut, ``last_progress_cycle`` the
     last cycle on which any operation issued, completed, or wrote back,
     and ``blocked`` holds (tid, name, word, reason) rows describing
-    why each live thread cannot proceed.
+    why each live thread cannot proceed.  ``fusion`` carries the fused
+    kernel's superblock context (see :class:`DeadlockError`) so a hang
+    inside or around a fused span is debuggable without a rerun.
     """
 
     def __init__(self, message, cycle=None, last_progress_cycle=None,
-                 blocked=None):
+                 blocked=None, fusion=None):
         super().__init__(message)
         self.cycle = cycle
         self.last_progress_cycle = last_progress_cycle
         self.blocked = list(blocked or ())
+        self.fusion = fusion
+
+
+class SanitizerError(SimulationError):
+    """The runtime state sanitizer (``repro.sim.sanitize``) tripped.
+
+    ``report`` is the structured :class:`~repro.sim.sanitize.
+    SanitizerReport` dict; ``bundle_path`` points at the replayable
+    reproducer bundle extracted at trip time (``repro replay <path>``
+    re-executes it deterministically).  Both survive a round trip
+    through a process pool: sweep workers raise these and the
+    supervisor rebuilds them on the parent side.
+    """
+
+    def __init__(self, message, report=None, bundle_path=None):
+        super().__init__(message)
+        self.report = report
+        self.bundle_path = bundle_path
+
+    def __reduce__(self):
+        # The default Exception reduce carries only args; keep the
+        # report dict and bundle path across pickling so CellFailure
+        # can attach the reproducer on the pool's parent side.
+        return (self.__class__,
+                (self.args[0], self.report, self.bundle_path))
+
+
+class InvariantViolation(SanitizerError):
+    """Tier-1: a strided architectural-invariant audit failed (presence
+    bitmasks, completion-heap monotonicity, lost wakeups, arbiter
+    starvation bounds, opcache fill-board consistency).  ``cycle`` is
+    the audited cycle; ``violations`` lists every failed check."""
+
+    def __init__(self, message, cycle=None, violations=None, report=None,
+                 bundle_path=None):
+        super().__init__(message, report=report, bundle_path=bundle_path)
+        self.cycle = cycle
+        self.violations = list(violations or ())
+
+    def __reduce__(self):
+        return (self.__class__,
+                (self.args[0], self.cycle, self.violations, self.report,
+                 self.bundle_path))
+
+
+class DivergenceError(SanitizerError):
+    """Tier-2: the fused run diverged from its shadow reference and
+    graceful de-optimization could not converge them (quarantining the
+    suspect superblocks and finally disabling fusion outright still
+    reproduced the mismatch), so the divergence is not the fused
+    path's fault — the state itself is corrupt."""
 
 
 class InterpError(ReproError):
@@ -156,7 +214,8 @@ class CellFailure:
     ok = False
 
     def __init__(self, benchmark, mode, error_type, message,
-                 attempts=1, timed_out=False, key_digest=None):
+                 attempts=1, timed_out=False, key_digest=None,
+                 reproducer=None):
         self.benchmark = benchmark
         self.mode = mode
         self.error_type = error_type
@@ -164,6 +223,9 @@ class CellFailure:
         self.attempts = attempts
         self.timed_out = timed_out
         self.key_digest = key_digest
+        # Sanitizer trips attach the reproducer bundle path extracted
+        # at trip time; ``repro replay <path>`` re-executes it.
+        self.reproducer = reproducer
 
     @classmethod
     def from_exception(cls, benchmark, mode, exc, attempts=1,
@@ -171,13 +233,17 @@ class CellFailure:
         return cls(benchmark, mode, type(exc).__name__, str(exc),
                    attempts=attempts,
                    timed_out=isinstance(exc, CellTimeoutError),
-                   key_digest=key_digest)
+                   key_digest=key_digest,
+                   reproducer=getattr(exc, "bundle_path", None))
 
     def as_record(self):
         """JSON-serializable shape (journal lines, bench reports)."""
-        return {"benchmark": self.benchmark, "mode": self.mode,
-                "error_type": self.error_type, "message": self.message,
-                "attempts": self.attempts, "timed_out": self.timed_out}
+        record = {"benchmark": self.benchmark, "mode": self.mode,
+                  "error_type": self.error_type, "message": self.message,
+                  "attempts": self.attempts, "timed_out": self.timed_out}
+        if self.reproducer is not None:
+            record["reproducer"] = self.reproducer
+        return record
 
     def __repr__(self):
         return ("CellFailure(%s/%s %s: %s after %d attempt(s))"

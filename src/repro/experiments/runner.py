@@ -100,11 +100,12 @@ class Harness:
     """
 
     def __init__(self, seed=1, check=True, max_cycles=5_000_000,
-                 fast_forward=True, compile_cache="auto"):
+                 fast_forward=True, compile_cache="auto", sanitize=None):
         self.seed = seed
         self.check = check
         self.max_cycles = max_cycles
         self.fast_forward = fast_forward
+        self.sanitize = sanitize
         if compile_cache == "auto":
             compile_cache = default_cache()
         elif not compile_cache:
@@ -165,7 +166,8 @@ class Harness:
         started = time.perf_counter()
         sim = run_program(compiled.program, config, overrides=inputs,
                           max_cycles=self.max_cycles,
-                          fast_forward=self.fast_forward)
+                          fast_forward=self.fast_forward,
+                          sanitize=self.sanitize)
         wall_seconds = time.perf_counter() - started
         verified = True
         if self.check:
@@ -295,7 +297,10 @@ class Harness:
 
     def _journal_header(self):
         """Everything a cell's outcome depends on at the harness level
-        (the config level is covered by the per-cell key digest)."""
+        (the config level is covered by the per-cell key digest).
+        ``sanitize`` is deliberately absent: a sanitized run that does
+        not trip is bit-identical to a plain one, so sanitized and
+        unsanitized sweeps may share a journal."""
         return {"seed": self.seed, "check": self.check,
                 "max_cycles": self.max_cycles,
                 "fast_forward": self.fast_forward}
@@ -320,7 +325,11 @@ class Harness:
                 dict(record["utilization"]),
                 ReplayedStats(record["stats"],
                               fused_dispatches=record.get(
-                                  "fused_dispatches", 0)),
+                                  "fused_dispatches", 0),
+                              defuse_reasons=record.get(
+                                  "defuse_reasons"),
+                              quarantined_blocks=record.get(
+                                  "quarantined_blocks", 0)),
                 None, None, record.get("verified", True),
                 wall_seconds=record.get("wall_seconds", 0.0),
                 compile_seconds=record.get("compile_seconds", 0.0),
@@ -338,7 +347,7 @@ class Harness:
         cache_root = self.disk_cache.root if self.disk_cache is not None \
             else None
         return (self.seed, self.check, self.max_cycles,
-                self.fast_forward, cache_root)
+                self.fast_forward, cache_root, self.sanitize)
 
     def _absorb(self, key, result):
         """Merge one worker result into the run and compile caches."""
@@ -358,6 +367,10 @@ def _journal_record(result):
             "stats": result.stats.summary(),
             "fused_dispatches":
                 getattr(result.stats, "fused_dispatches", 0),
+            "defuse_reasons":
+                dict(getattr(result.stats, "defuse_reasons", None) or {}),
+            "quarantined_blocks":
+                getattr(result.stats, "quarantined_blocks", 0),
             "verified": result.verified,
             "wall_seconds": result.wall_seconds,
             "compile_seconds": result.compile_seconds,
@@ -369,8 +382,9 @@ def _run_spec_in_worker(payload, spec):
     The chaos hook fires only here — never in the parent — so the
     serial-fallback path completes cells whose workers always die."""
     chaos_if_requested(spec.benchmark, spec.mode)
-    seed, check, max_cycles, fast_forward, cache_root = payload
+    seed, check, max_cycles, fast_forward, cache_root, sanitize = payload
     cache = CompileCache(cache_root) if cache_root is not None else None
     harness = Harness(seed=seed, check=check, max_cycles=max_cycles,
-                      fast_forward=fast_forward, compile_cache=cache)
+                      fast_forward=fast_forward, compile_cache=cache,
+                      sanitize=sanitize)
     return harness.run(spec.benchmark, spec.mode, spec.config, spec.tag)

@@ -109,14 +109,17 @@ class ReplayedStats:
     :meth:`~repro.sim.stats.Stats.summary` dict and the counters the
     report generators read, without a live simulation behind it."""
 
-    def __init__(self, summary, fused_dispatches=0):
+    def __init__(self, summary, fused_dispatches=0, defuse_reasons=None,
+                 quarantined_blocks=0):
         self._summary = dict(summary)
         self.cycles = self._summary.get("cycles", 0)
         self.total_operations = self._summary.get("operations", 0)
         # Not part of summary() (engine bookkeeping, kept out so fused
         # and unfused digests match); journaled separately so a
-        # resumed bench still reports it per cell.
+        # resumed bench still reports them per cell.
         self.fused_dispatches = fused_dispatches
+        self.defuse_reasons = dict(defuse_reasons or {})
+        self.quarantined_blocks = quarantined_blocks
 
     def summary(self):
         return dict(self._summary)
@@ -166,6 +169,18 @@ class SweepJournal:
             if record.get("kind") == "header":
                 recorded = {k: record.get(k) for k in self.header}
                 if recorded != self.header:
+                    expect = self.header.get("report_schema")
+                    got = recorded.get("report_schema")
+                    if expect is not None and got != expect:
+                        # A schema bump changed what each cell record
+                        # carries; replaying old cells would produce a
+                        # report missing the new fields.
+                        raise SweepJournalError(
+                            "journal %s records report schema %s but "
+                            "this build writes schema %s; re-run the "
+                            "sweep with a fresh journal (old journals "
+                            "cannot be resumed across a schema bump)"
+                            % (self.path, got, expect))
                     raise SweepJournalError(
                         "journal %s was written by a different sweep: "
                         "header %r vs current %r"

@@ -11,7 +11,10 @@ from .node import (Node, SimResult, make_node, node_class_for_engine,
                    run_program)
 from .predecode import DecodedThread, SlotPlan, WordPlan, decode_program
 from .registers import RegisterFrame
-from .stats import Stats
+from .sanitize import (InvariantAuditor, SanitizerPolicy, SanitizerReport,
+                       SanitizerSummary, audit_node, replay_bundle,
+                       run_sanitized)
+from .stats import ENGINE_STAT_FIELDS, Stats
 from .thread import ThreadContext
 
 __all__ = [
@@ -21,5 +24,8 @@ __all__ = [
     "load_memory", "validate_program", "MemRequest", "MemorySystem",
     "Node", "SimResult", "make_node", "node_class_for_engine",
     "run_program", "DecodedThread", "SlotPlan", "WordPlan",
-    "decode_program", "RegisterFrame", "Stats", "ThreadContext",
+    "decode_program", "RegisterFrame", "ENGINE_STAT_FIELDS", "Stats",
+    "ThreadContext", "InvariantAuditor", "SanitizerPolicy",
+    "SanitizerReport", "SanitizerSummary", "audit_node", "replay_bundle",
+    "run_sanitized",
 ]

@@ -127,6 +127,16 @@ class EventNode(Node):
         # probability across every branch followed so far — stays
         # decisive.
         self._br_bias = {}
+        # Sanitizer hooks.  _quarantined holds (program, entry_ip)
+        # pairs barred from fused dispatch (see quarantine_block); the
+        # sanitize driver re-applies it after a rollback restore.
+        # _dispatch_log, when set to a list, records the (program,
+        # entry_ip) of every span dispatched — the shadow tier's
+        # suspect list for divergence triage.  _last_fused remembers
+        # the most recent dispatch for watchdog/deadlock reports.
+        self._quarantined = set()
+        self._dispatch_log = None
+        self._last_fused = None
         self._adv_any = False        # some thread may advance this cycle
         # Arbiter scan order, rebuilt only when membership changes.
         self._order = []
@@ -655,6 +665,9 @@ class EventNode(Node):
             cycle += 1
             self.cycle = cycle
             stats.cycles = cycle
+            san = self.sanitizer
+            if san is not None and cycle >= san.next_cycle:
+                san.check(self, cycle)
             if issued or completed or wrote:
                 self._last_progress = cycle
             if not self.active and not self._spawn_queue \
@@ -753,9 +766,16 @@ class EventNode(Node):
         decoded = thread.decoded
         if decoded is None or decoded.blocks is None:
             return None
-        block = decoded.blocks.get(thread.ip)
-        if block is None \
-                or len(thread.pending_plans) != block.n_plans:
+        ip = thread.ip
+        reasons = self.stats.defuse_reasons
+        if self._quarantined and (decoded.name, ip) in self._quarantined:
+            reasons["quarantined"] += 1
+            return None
+        block = decoded.blocks.get(ip)
+        if block is None:
+            return None
+        if len(thread.pending_plans) != block.n_plans:
+            reasons["st_partial_word"] += 1
             return None
         # Memory-tolerant span: an in-service or deferred access whose
         # completion falls past the block's last cycle cannot interact
@@ -766,26 +786,36 @@ class EventNode(Node):
         # closure's per-store guard rejects — so they impose no clamp.
         event = self.memory.next_event_cycle()
         if event is not None and event <= cycle + block.last_rel:
+            reasons["st_mem_event"] += 1
             return None
         span = block.last_rel + 1
-        if cycle + span >= max_cycles:
-            return None
-        if watchdog_cycles is not None and watchdog_cycles <= span:
-            return None
-        if pause_at is not None and pause_at <= cycle + block.last_rel:
+        if cycle + span >= max_cycles \
+                or (watchdog_cycles is not None
+                    and watchdog_cycles <= span) \
+                or (pause_at is not None
+                    and pause_at <= cycle + block.last_rel):
+            reasons["st_clamp"] += 1
             return None
         for frame in thread.frames.values():
             if frame._invalid:
+                reasons["st_presence"] += 1
                 return None
         if self._use_opcache:
             units = self._units_list
             for index, key in block.cache_checks:
                 cache = units[index].opcache
                 if cache is not None and key not in cache._lines:
+                    reasons["st_opcache_cold"] += 1
                     return None
         end = block.fn(self, thread, cycle)
-        if end is not None:
+        if end is None:
+            reasons["st_guard_bail"] += 1
+        else:
             self.stats.fused_dispatches += 1
+            self._last_fused = ("st", ((decoded.name, ip),), cycle)
+            log = self._dispatch_log
+            if log is not None:
+                log.append((decoded.name, ip))
         return end
 
     def _try_fuse_mt(self, cycle, max_cycles, watchdog_cycles, pause_at):
@@ -810,6 +840,7 @@ class EventNode(Node):
             self._rebuild_order()
         order = self._order
         if len(order) > _MT_MAX_SLOTS:
+            self.stats.defuse_reasons["mt_width"] += 1
             return None
         tids = self._order_tids
         if tids is not None:
@@ -861,20 +892,29 @@ class EventNode(Node):
                         mask |= 1 << pos
                         take += 1
                 if take != npend:
+                    self.stats.defuse_reasons["mt_partial"] += 1
                     return None
                 key_parts.append((decoded.name, ip, mask))
             nsched += 1
         if not nsched:
             return None
+        if self._quarantined:
+            for part in key_parts:
+                if part is not None \
+                        and (part[0], part[1]) in self._quarantined:
+                    self.stats.defuse_reasons["quarantined"] += 1
+                    return None
         key = tuple(key_parts)
         entry = self._mt_table.get(key, False)
         if entry is False:
             heat = self._mt_heat.get(key, 0) + 1
             if heat < _MT_WARMUP:
                 self._mt_heat[key] = heat
+                self.stats.defuse_reasons["mt_warmup"] += 1
                 return None
             if self._mt_builds >= _MT_BUILD_BASE \
                     + _MT_BUILD_PER_HIT * self._mt_hits:
+                self.stats.defuse_reasons["mt_build_budget"] += 1
                 return None
             self._mt_heat.pop(key, None)
             self._mt_builds += 1
@@ -895,30 +935,35 @@ class EventNode(Node):
                 else:
                     self._mt_retried.add(key)
                     self._mt_heat[key] = -_MT_RETRY_BACKOFF
+                self.stats.defuse_reasons["mt_compile_fail"] += 1
                 return None
             entry = [block, _MT_HORIZON, 0, 0, slots]
             self._mt_table[key] = entry
         if entry is None:
+            self.stats.defuse_reasons["mt_inert"] += 1
             return None
         block = entry[0]
         last_rel = block.last_rel
-        if cycle + last_rel + 1 >= max_cycles:
-            return None
-        if watchdog_cycles is not None \
-                and watchdog_cycles <= last_rel + 1:
-            return None
-        if pause_at is not None and pause_at <= cycle + last_rel:
+        if cycle + last_rel + 1 >= max_cycles \
+                or (watchdog_cycles is not None
+                    and watchdog_cycles <= last_rel + 1) \
+                or (pause_at is not None
+                    and pause_at <= cycle + last_rel):
+            self.stats.defuse_reasons["mt_clamp"] += 1
             return None
         event = self.memory.next_event_cycle()
         if event is not None and event <= cycle + last_rel:
+            self.stats.defuse_reasons["mt_mem_event"] += 1
             return None
         for thread in order:
             if not thread.parked:
                 for frame in thread.frames.values():
                     if frame._invalid:
+                        self.stats.defuse_reasons["mt_presence"] += 1
                         return None
         end = block.fn(self, order, cycle)
         if end is None:
+            self.stats.defuse_reasons["mt_guard_bail"] += 1
             # A run-time guard bailed (branch assumption missed, or a
             # memory hazard mid-span).  Long schedules make both more
             # likely, so keep a failure score per alignment and halve
@@ -961,7 +1006,62 @@ class EventNode(Node):
         elif entry[3] == _MT_PROMOTE:
             block.promote()
         self.stats.fused_dispatches += 1
+        parts = tuple((part[0], part[1]) for part in key
+                      if part is not None)
+        self._last_fused = ("mt", parts, cycle)
+        log = self._dispatch_log
+        if log is not None:
+            log.extend(parts)
         return end
+
+    # -- sanitizer hooks --------------------------------------------------
+
+    def quarantine_block(self, name, entry_ip):
+        """Bar the superblock entered at (program ``name``, word
+        ``entry_ip``) from fused dispatch, permanently: the single-
+        thread entry is tombstoned in its BlockTable and every compiled
+        interleaved alignment scheduling that entry goes inert.  The
+        simulation continues un-fused over that span instead of dying —
+        the sanitizer's graceful de-optimization.  Idempotent; returns
+        True when the entry was newly quarantined.
+        """
+        key = (name, entry_ip)
+        if key in self._quarantined:
+            return False
+        self._quarantined.add(key)
+        if self._decoded is not None:
+            decoded = self._decoded.get(name)
+            if decoded is not None and decoded.blocks is not None:
+                decoded.blocks.quarantine(entry_ip)
+        for mkey in list(self._mt_table):
+            for part in mkey:
+                if part is not None and part[0] == name \
+                        and part[1] == entry_ip:
+                    self._mt_table[mkey] = None
+                    break
+        self.stats.quarantined_blocks = len(self._quarantined)
+        return True
+
+    def _fusion_context(self):
+        if not self._fusion:
+            return None
+        table = self._mt_table
+        ladder = {
+            "alignments": len(table),
+            "inert": sum(1 for entry in table.values() if entry is None),
+            "warming": len(self._mt_heat),
+            "builds": self._mt_builds,
+            "hits": self._mt_hits,
+            "promoted": sum(1 for entry in table.values()
+                            if entry is not None
+                            and entry[3] >= _MT_PROMOTE),
+        }
+        return {
+            "last_dispatch": self._last_fused,
+            "defuse_reasons": dict(self.stats.defuse_reasons),
+            "quarantined": sorted(self._quarantined),
+            "mt_ladder": ladder,
+        }
 
     def _next_fill_ready(self):
         """The earliest completion cycle among in-flight operation-

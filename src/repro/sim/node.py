@@ -37,13 +37,19 @@ from .thread import ACTIVE, DONE, ThreadContext
 
 @dataclass
 class SimResult:
-    """Everything an experiment needs after a run."""
+    """Everything an experiment needs after a run.
+
+    ``sanitizer`` is None for plain runs; a sanitized run
+    (:func:`repro.sim.sanitize.run_sanitized`) attaches its
+    :class:`~repro.sim.sanitize.SanitizerSummary` here.
+    """
 
     stats: object
     memory: object
     program: object
     config: object
     threads: list
+    sanitizer: object = None
 
     @property
     def cycles(self):
@@ -123,6 +129,10 @@ class Node:
         # cycle-by-cycle run, so its own accounting lives on the node).
         self.ffwd_jumps = 0
         self.ffwd_cycles = 0
+        # Optional runtime invariant auditor (repro.sim.sanitize); not
+        # snapshot state — the sanitize driver re-attaches it after a
+        # restore.  The per-cycle cost when unset is one None test.
+        self.sanitizer = None
 
     # -- thread management ----------------------------------------------
 
@@ -381,6 +391,9 @@ class Node:
             issued = self._issue()
             self.cycle += 1
             self.stats.cycles = self.cycle
+            san = self.sanitizer
+            if san is not None and self.cycle >= san.next_cycle:
+                san.check(self, self.cycle)
             if issued or completed or wrote:
                 self._last_progress = self.cycle
             if not self.active and not self._spawn_queue \
@@ -493,6 +506,39 @@ class Node:
         return [(thread.tid, thread.name, thread.ip,
                  thread.stall_reason()) for thread in self.active]
 
+    def _fusion_context(self):
+        """Superblock-fusion state for error reports; the scan kernel
+        (and the unfused event kernel) has none."""
+        return None
+
+    def _fusion_report_lines(self, context):
+        if context is None:
+            return []
+        lines = ["superblock fusion context:"]
+        last = context.get("last_dispatch")
+        if last is not None:
+            spans = "+".join("%s@%d" % part for part in last[1])
+            lines.append("  last fused dispatch: %s %s at cycle %d"
+                         % (last[0], spans, last[2]))
+        else:
+            lines.append("  no superblock dispatched yet")
+        reasons = context.get("defuse_reasons")
+        if reasons:
+            inner = ", ".join("%s=%d" % pair
+                              for pair in sorted(reasons.items()))
+            lines.append("  de-fusion reasons: " + inner)
+        quarantined = context.get("quarantined")
+        if quarantined:
+            lines.append("  quarantined entries: %s"
+                         % ", ".join("%s@%d" % entry
+                                     for entry in quarantined))
+        ladder = context.get("mt_ladder")
+        if ladder:
+            lines.append("  interleaved ladder: "
+                         + ", ".join("%s=%s" % pair
+                                     for pair in sorted(ladder.items())))
+        return lines
+
     def _watchdog_error(self, headline):
         lines = [headline,
                  "cut at cycle %d; last forward progress at cycle %d"
@@ -508,9 +554,11 @@ class Node:
         if parked:
             lines.append("parked memory references:")
             lines.extend("  " + line for line in parked)
+        fusion = self._fusion_context()
+        lines.extend(self._fusion_report_lines(fusion))
         return WatchdogError("\n".join(lines), cycle=self.cycle,
                              last_progress_cycle=self._last_progress,
-                             blocked=blocked)
+                             blocked=blocked, fusion=fusion)
 
     def _raise_deadlock(self):
         lines = ["deadlock at cycle %d" % self.cycle]
@@ -525,8 +573,10 @@ class Node:
         wait_for = self._wait_for_cycle()
         if wait_for:
             lines.append("wait-for cycle: " + " -> ".join(wait_for))
+        fusion = self._fusion_context()
+        lines.extend(self._fusion_report_lines(fusion))
         raise DeadlockError("\n".join(lines), blocked=blocked,
-                            wait_for=wait_for)
+                            wait_for=wait_for, fusion=fusion)
 
     def _wait_for_cycle(self):
         """Detect a cycle in the wait-for graph built from parked
@@ -652,14 +702,28 @@ def make_node(config, observer=None, fast_forward=True):
 
 
 def run_program(program, config, overrides=None, max_cycles=5_000_000,
-                observer=None, watchdog_cycles=None, fast_forward=True):
+                observer=None, watchdog_cycles=None, fast_forward=True,
+                sanitize=None):
     """Convenience wrapper: simulate ``program`` on ``config`` with the
     kernel ``config.engine`` selects.
 
     ``fast_forward=False`` disables the skip-ahead fast path and
     simulates every cycle (the results are identical either way; the
     flag exists for differential testing and perf comparison).
+
+    ``sanitize`` (a level name or :class:`~repro.sim.sanitize.
+    SanitizerPolicy`) routes the run through the online state sanitizer
+    — invariant audits, shadow differential execution, and graceful
+    de-optimization; see :mod:`repro.sim.sanitize`.  The results are
+    identical to an unsanitized run unless the sanitizer trips.
     """
+    if sanitize is not None and sanitize != "off":
+        from .sanitize import run_sanitized
+        return run_sanitized(program, config, overrides=overrides,
+                             max_cycles=max_cycles,
+                             watchdog_cycles=watchdog_cycles,
+                             fast_forward=fast_forward, observer=observer,
+                             policy=sanitize)
     node = make_node(config, observer=observer, fast_forward=fast_forward)
     return node.run(program, overrides=overrides, max_cycles=max_cycles,
                     watchdog_cycles=watchdog_cycles)

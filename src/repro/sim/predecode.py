@@ -510,6 +510,20 @@ class BlockTable:
         return {ip: block for ip, block in self._cache.items()
                 if block is not None}
 
+    def quarantine(self, ip):
+        """Bar the entry at ``ip`` from ever dispatching again.
+
+        Pinning the cache slot to None makes the quarantine free on the
+        hot path (the same lookup that would have found the block finds
+        the tombstone) and — because snapshots share the table — it
+        survives the sanitizer's rollback/restore cycle without being
+        re-applied.  Pickling still drops it along with the rest of the
+        cache: a replayed bundle re-detects and re-quarantines, which
+        is exactly what a reproducer is for.
+        """
+        self._cache[ip] = None
+        self._heat.pop(ip, None)
+
     def __deepcopy__(self, memo):
         # Compilation is deterministic and closures never carry run
         # state, so snapshots share the table with the live node.

@@ -10,6 +10,14 @@ from collections import Counter
 
 from ..isa.operations import UnitClass
 
+#: Engine-bookkeeping counters on :class:`Stats` that are *not*
+#: architectural quantities: they differ between the fused and unfused
+#: kernels by design, stay out of :meth:`Stats.summary`, and must be
+#: excluded from any cross-engine equality check (the equivalence
+#: suite and the sanitizer's shadow digest both key off this tuple).
+ENGINE_STAT_FIELDS = ("fused_dispatches", "defuse_reasons",
+                      "quarantined_blocks")
+
 
 class Stats:
     """Mutable counters filled in during simulation.
@@ -46,8 +54,17 @@ class Stats:
         # engine implementation detail, not an architectural quantity:
         # deliberately absent from summary() so fused and unfused runs
         # stay digest-identical, and excluded from the equivalence
-        # suite's stats comparison.
+        # suite's stats comparison (see ENGINE_STAT_FIELDS).
         self.fused_dispatches = 0
+        # Why fusion declined to dispatch, by reason (same engine-only
+        # status as fused_dispatches).  The counted sites are the
+        # guards a block passed warmup for but failed at dispatch time;
+        # the ubiquitous "thread not at a block entry" case is not
+        # counted — it would dominate every profile with noise.
+        self.defuse_reasons = Counter()
+        # Superblock entries quarantined by the sanitizer (the count of
+        # distinct (program, entry) pairs barred from dispatch).
+        self.quarantined_blocks = 0
         self.threads_spawned = 0
         self.threads_finished = 0
         self.peak_active_threads = 0

@@ -76,6 +76,14 @@ class TraceRecorder:
         cycles = [e.cycle for e in self.issues]
         return (min(cycles), max(cycles))
 
+    def tail(self, cycles=48):
+        """Issue events from the final ``cycles``-cycle window — the
+        slice the sanitizer's bundle replay prints to show the
+        schedule entering a divergence window."""
+        __, hi = self.cycle_range()
+        lo = hi - cycles + 1
+        return [e for e in self.issues if e.cycle >= lo]
+
 
 def render_timeline(recorder, config, first=None, last=None, width=72):
     """Draw unit occupancy as text: one row per function unit, one

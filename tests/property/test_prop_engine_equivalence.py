@@ -53,11 +53,12 @@ def _assert_identical(reference, other, label="event"):
     assert other.cycles == reference.cycles
     ref_stats = dict(reference.stats.__dict__)
     other_stats = dict(other.stats.__dict__)
+    from repro.sim.stats import ENGINE_STAT_FIELDS
     for key in sorted(set(ref_stats) | set(other_stats)):
-        if key.startswith("fused"):
+        if key in ENGINE_STAT_FIELDS:
             # Engine bookkeeping, not an architectural quantity: the
-            # fused kernel counts its superblock dispatches, the scan
-            # kernel never fuses at all.
+            # fused kernel counts its superblock dispatches and
+            # de-fusion reasons, the scan kernel never fuses at all.
             continue
         assert other_stats.get(key) == ref_stats.get(key), \
             "stats.%s diverged: reference=%r %s=%r" \

@@ -182,9 +182,10 @@ class TestBenchCommand:
     def test_report_schema_and_gate(self, tmp_path):
         code, text, report = self._run(tmp_path)
         assert code == 0
-        assert report["schema"] == 3
+        assert report["schema"] == 4
         assert report["engine"] == "event"
         assert report["fusion"] is True
+        assert report["sanitize"] == "off"
         assert report["on_error"] == "raise"
         assert report["cell_timeout"] is None
         assert report["failed"] == []
@@ -197,6 +198,9 @@ class TestBenchCommand:
             # leg gates on it being nonzero where fusion must fire.
             assert cell["fused_dispatches"] >= 0
             assert "fused_dispatches" not in cell["stats"]
+            assert isinstance(cell["defuse_reasons"], dict)
+            assert cell["quarantined_blocks"] == 0
+            assert "defuse_reasons" not in cell["stats"]
         assert any(cell["fused_dispatches"] > 0
                    for cell in report["results"])
         # A second run compared against the first must pass the gate.
@@ -256,9 +260,14 @@ class TestBenchCommand:
                 for r in report2["results"]] == \
             [(r["benchmark"], r["mode"], r["cycles"])
              for r in report["results"]]
-        # Replayed cells keep their journaled dispatch counts.
+        # Replayed cells keep their journaled dispatch counts and
+        # sanitizer/fusion counters.
         assert [r["fused_dispatches"] for r in report2["results"]] == \
             [r["fused_dispatches"] for r in report["results"]]
+        assert [r["defuse_reasons"] for r in report2["results"]] == \
+            [r["defuse_reasons"] for r in report["results"]]
+        assert [r["quarantined_blocks"] for r in report2["results"]] == \
+            [r["quarantined_blocks"] for r in report["results"]]
         # Journal unchanged: replayed cells are not re-recorded.
         assert len(journal.read_text().splitlines()) == len(lines)
 

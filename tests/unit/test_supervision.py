@@ -130,6 +130,20 @@ class TestSweepJournal:
         with pytest.raises(SweepJournalError):
             SweepJournal(path, other)
 
+    def test_stale_report_schema_rejected_with_clear_message(
+            self, tmp_path):
+        # A journal written before a report schema bump must be refused
+        # with a message naming the schemas, not a generic header diff.
+        path = tmp_path / "sweep.jsonl"
+        old = dict(self.HEADER, report_schema=3)
+        SweepJournal(path, old).record_ok("k", {"cycles": 1})
+        new = dict(self.HEADER, report_schema=4)
+        with pytest.raises(SweepJournalError) as excinfo:
+            SweepJournal(path, new)
+        message = str(excinfo.value)
+        assert "schema 3" in message and "schema 4" in message
+        assert "fresh journal" in message
+
     def test_torn_final_line_skipped(self, tmp_path):
         path = tmp_path / "sweep.jsonl"
         journal = SweepJournal(path, self.HEADER)
