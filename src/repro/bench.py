@@ -35,15 +35,19 @@ append-only ledger of completed cells so an interrupted bench re-runs
 only the remainder (see docs/internals.md, "Supervised sweep
 execution").
 
-Output schema (version 4; every version bump so far is additive —
+Output schema (version 5; every version bump so far is additive —
 version 2 added ``failed``, ``on_error``, ``cell_timeout``; version 3
 added per-cell ``fused_dispatches``, the superblock dispatch count the
 CI fusion leg gates on; version 4 added the run-level ``sanitize``
 level plus per-cell ``defuse_reasons`` and ``quarantined_blocks`` from
-the online state sanitizer)::
+the online state sanitizer; version 5 added the run-level ``backend``
+and ``lanes`` plus per-cell ``backend``/``lanes``/``peeled_lanes``
+from the batch lane engine, and a per-cell ``seed`` — present only on
+cells whose spec overrode the harness seed, so single-seed reports
+keep the exact cell keys older references used)::
 
     {
-      "schema": 4,
+      "schema": 5,
       "date": "YYYYMMDD",
       "suite": "full" | "quick",
       "workers": N,
@@ -52,6 +56,8 @@ the online state sanitizer)::
       "engine": "event" | "scan",
       "fusion": bool,               # superblock fusion (event kernel)
       "sanitize": "off" | "audit" | "shadow" | "deep",
+      "backend": "pool" | "batch",  # sweep execution backend
+      "lanes": N,                   # seeds per cell (1 = pool default)
       "on_error": "raise" | "collect",
       "cell_timeout": float | null,
       "total_wall_s": float,        # whole-suite wall clock
@@ -60,10 +66,14 @@ the online state sanitizer)::
         {"benchmark": ..., "mode": ..., "cycles": int,
          "operations": int, "wall_s": float, "compile_s": float,
          "cache_hit": bool, "cycles_per_sec": float,
+         "seed": int,                # only when the spec set one
          "fused_dispatches": int,    # superblock dispatches (0 when
                                      # fusion is off or never fired)
          "defuse_reasons": {reason: int},  # fusion dispatch declines
          "quarantined_blocks": int,  # sanitizer-quarantined entries
+         "backend": "scalar" | "batch" | "batch-peeled",
+         "lanes": int,               # lockstep bundle width
+         "peeled_lanes": int,        # lanes peeled from that bundle
          "stats": {<Stats.summary()>}},
         ...
       ],
@@ -92,35 +102,48 @@ from .programs.suite import BENCHMARK_ORDER
 #: clock, so --quick drops it).
 QUICK_BENCHMARKS = ("matrix", "fft", "model")
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 
-def suite_specs(quick=False, config=None):
-    """The paper suite as RunSpecs: benchmark x supported mode."""
+def suite_specs(quick=False, config=None, seeds=None):
+    """The paper suite as RunSpecs: benchmark x supported mode.
+
+    ``seeds`` expands every cell into one spec per input seed — the
+    lane axis of ``--backend batch``.  None keeps the classic
+    single-spec-per-cell suite (spec seed left None = harness seed,
+    so run keys and report cell keys are unchanged)."""
     benchmarks = QUICK_BENCHMARKS if quick else BENCHMARK_ORDER
     specs = []
     for benchmark in benchmarks:
         modes = [m for m in MODE_ORDER
                  if m in get_benchmark(benchmark).modes]
-        specs.extend(RunSpec(benchmark, mode, config) for mode in modes)
+        for mode in modes:
+            if seeds is None:
+                specs.append(RunSpec(benchmark, mode, config))
+            else:
+                specs.extend(RunSpec(benchmark, mode, config, seed=s)
+                             for s in seeds)
     return specs
 
 
 def run_suite(harness, specs, workers=None, on_error="raise",
-              cell_timeout=None, journal=None):
+              cell_timeout=None, journal=None, backend=None):
     """Run the specs under supervision; returns ``(records, failed)``
     — the per-cell records for completed cells and the failure records
     for collected failures (always empty with ``on_error="raise"``)."""
     results = harness.run_many(specs, workers=workers,
                                on_error=on_error,
                                cell_timeout=cell_timeout,
-                               journal=journal)
+                               journal=journal, backend=backend)
     records, failed = [], []
-    for result in results:
+    for spec, result in zip(specs, results):
         if not result.ok:
-            failed.append(result.as_record())
+            record = result.as_record()
+            if spec.seed is not None:
+                record["seed"] = spec.seed
+            failed.append(record)
             continue
-        records.append({
+        record = {
             "benchmark": result.benchmark,
             "mode": result.mode,
             "cycles": result.cycles,
@@ -133,15 +156,25 @@ def run_suite(harness, specs, workers=None, on_error="raise",
             # digest-identical between fused and unfused runs, but the
             # CI fusion leg needs the dispatch count to prove fusion
             # actually fired on the cells it targets (and the sanitize
-            # leg reads the quarantine/de-fusion counters the same way).
+            # and batch-sweep legs read the quarantine/de-fusion/lane
+            # counters the same way).
             "fused_dispatches":
                 getattr(result.stats, "fused_dispatches", 0),
             "defuse_reasons":
                 dict(getattr(result.stats, "defuse_reasons", None) or {}),
             "quarantined_blocks":
                 getattr(result.stats, "quarantined_blocks", 0),
+            "backend": result.backend,
+            "lanes": result.lanes,
+            "peeled_lanes": result.peeled_lanes,
             "stats": result.stats.summary(),
-        })
+        }
+        # Only seeded specs carry the seed key: default-seed reports
+        # keep the exact (benchmark, mode) cell identity older
+        # reference reports use for --compare.
+        if spec.seed is not None:
+            record["seed"] = spec.seed
+        records.append(record)
     return records, failed
 
 
@@ -153,12 +186,24 @@ def _measured(records):
             and isinstance(r.get("wall_s"), (int, float))]
 
 
+def _cell_key(record):
+    """Cell identity for cross-report comparison: (benchmark, mode,
+    seed).  The seed key is absent on default-seed cells (None here),
+    so schema-4 references keyed by (benchmark, mode) alone still
+    match a fresh single-seed report cell for cell."""
+    return (record["benchmark"], record["mode"], record.get("seed"))
+
+
 def aggregate_cycles_per_sec(records):
     """Whole-suite throughput: total simulated cycles over total
     simulation wall clock (compile time excluded).  An empty or
     all-failed record list aggregates to 0.0 rather than dividing by
-    zero."""
-    records = _measured(records)
+    zero, and cells without a real wall-clock measurement — notably
+    journal-replayed cells recorded before wall capture existed, whose
+    ``wall_s`` is 0.0 — are excluded from *both* sums: counting their
+    cycles against no wall would inflate a ``--resume`` aggregate
+    toward infinity."""
+    records = [r for r in _measured(records) if r["wall_s"] > 0.0]
     if not records:
         return 0.0
     cycles = sum(r["cycles"] for r in records)
@@ -184,12 +229,11 @@ def compare_reports(report, reference, threshold=0.2):
     reference are skipped silently (there is nothing to compare).
     """
     problems = []
-    current = {(r["benchmark"], r["mode"]): r
-               for r in _measured(report["results"])}
-    recorded = {(r["benchmark"], r["mode"]): r
+    current = {_cell_key(r): r for r in _measured(report["results"])}
+    recorded = {_cell_key(r): r
                 for r in _measured(reference["results"])}
     for failure in report.get("failed", ()):
-        key = (failure["benchmark"], failure["mode"])
+        key = _cell_key(failure)
         if key in recorded:
             problems.append(
                 "%s/%s: failed in current report (%s: %s) — skipped "
@@ -221,13 +265,18 @@ def delta_table(report, reference):
     """Per-cell throughput deltas against a reference report, worst
     regression first.  Returns display lines (empty when the reports
     share no cells)."""
-    current = {(r["benchmark"], r["mode"]): r
-               for r in _measured(report["results"])}
-    recorded = {(r["benchmark"], r["mode"]): r
+    current = {_cell_key(r): r for r in _measured(report["results"])}
+    recorded = {_cell_key(r): r
                 for r in _measured(reference["results"])}
     rows = []
     for key in recorded:
         if key not in current:
+            continue
+        # Cells without a real wall-clock measurement on either side
+        # (journal-replayed, wall_s 0.0) have no meaningful
+        # throughput; a delta against them is noise.
+        if recorded[key].get("wall_s", 0.0) <= 0.0 \
+                or current[key].get("wall_s", 0.0) <= 0.0:
             continue
         old = recorded[key].get("cycles_per_sec", 0.0)
         new = current[key].get("cycles_per_sec", 0.0)
@@ -252,16 +301,23 @@ def bench_filename(date=None):
 def render(report):
     """A human-readable digest of one bench report."""
     lines = ["bench %s: suite=%s workers=%s fast_forward=%s engine=%s "
-             "fusion=%s"
+             "fusion=%s backend=%s lanes=%s"
              % (report["date"], report["suite"], report["workers"],
                 report["fast_forward"], report.get("engine", "scan"),
-                "on" if report.get("fusion", True) else "off")]
-    lines.append("%-10s %-8s %10s %9s %9s %5s %12s"
+                "on" if report.get("fusion", True) else "off",
+                report.get("backend", "pool"),
+                report.get("lanes", 1))]
+    lines.append("%-10s %-12s %10s %9s %9s %5s %12s"
                  % ("benchmark", "mode", "cycles", "wall_s",
                     "compile_s", "cache", "cycles/sec"))
     for record in report["results"]:
-        lines.append("%-10s %-8s %10d %9.3f %9.3f %5s %12.0f"
-                     % (record["benchmark"], record["mode"],
+        mode = record["mode"]
+        if record.get("seed") is not None:
+            mode = "%s@%d" % (mode, record["seed"])
+        if record.get("backend") == "batch-peeled":
+            mode += "*"              # peeled out of its lane bundle
+        lines.append("%-10s %-12s %10d %9.3f %9.3f %5s %12.0f"
+                     % (record["benchmark"], mode,
                         record["cycles"], record["wall_s"],
                         record["compile_s"],
                         "hit" if record.get("cache_hit") else "miss",
@@ -319,6 +375,16 @@ def main(argv=None, out=None):
                              "execution against the unfused kernel; "
                              "deep audits every cycle); bare --sanitize "
                              "means audit")
+    parser.add_argument("--backend", choices=("pool", "batch"),
+                        default="pool",
+                        help="sweep backend: per-cell scalar runs "
+                             "(pool, default) or the numpy lockstep "
+                             "lane engine over the seed axis (batch; "
+                             "see --lanes)")
+    parser.add_argument("--lanes", type=int, default=None, metavar="N",
+                        help="input seeds per cell, seed..seed+N-1 "
+                             "(default 16 under --backend batch, else "
+                             "1); each seed is one lockstep lane")
     parser.add_argument("--on-error", choices=("raise", "collect"),
                         default="raise",
                         help="cell-failure policy: abort the sweep "
@@ -350,6 +416,14 @@ def main(argv=None, out=None):
                              "the current directory)")
     args = parser.parse_args(argv)
 
+    if args.backend == "batch" and args.sanitize:
+        parser.error("--backend batch cannot run under --sanitize "
+                     "(the sanitizer shadows the scalar kernels)")
+    lanes = args.lanes if args.lanes is not None \
+        else (16 if args.backend == "batch" else 1)
+    if lanes < 1:
+        parser.error("--lanes must be >= 1")
+
     reference = None
     if args.compare:
         with open(args.compare) as handle:
@@ -364,7 +438,10 @@ def main(argv=None, out=None):
                       fast_forward=not args.no_fast_forward,
                       compile_cache=False if args.no_compile_cache
                       else "auto", sanitize=args.sanitize)
-    specs = suite_specs(quick=args.quick, config=config)
+    # lanes == 1 keeps specs seedless (seed=None = harness seed), so
+    # cell keys and journal digests match single-seed reports exactly.
+    seeds = [args.seed + i for i in range(lanes)] if lanes > 1 else None
+    specs = suite_specs(quick=args.quick, config=config, seeds=seeds)
     date = time.strftime("%Y%m%d")
     path = args.output or bench_filename(date)
     journal = args.resume
@@ -382,7 +459,8 @@ def main(argv=None, out=None):
     records, failed = run_suite(harness, specs, workers=args.workers,
                                 on_error=args.on_error,
                                 cell_timeout=args.cell_timeout,
-                                journal=journal)
+                                journal=journal,
+                                backend=args.backend)
     total_wall = time.perf_counter() - started
 
     report = {
@@ -395,6 +473,8 @@ def main(argv=None, out=None):
         "engine": config.engine,
         "fusion": config.fusion,
         "sanitize": args.sanitize or "off",
+        "backend": args.backend,
+        "lanes": lanes,
         "on_error": args.on_error,
         "cell_timeout": args.cell_timeout,
         "total_wall_s": round(total_wall, 6),

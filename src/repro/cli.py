@@ -12,6 +12,8 @@
     python -m repro modes            # list machine modes
     python -m repro describe         # show the baseline machine
     python -m repro bench --quick    # benchmark the simulator itself
+    python -m repro bench --quick --backend batch --lanes 16
+                                     # 16-seed sweep in numpy lockstep
     python -m repro cache info       # on-disk compile cache footprint
     python -m repro cache prune --max-bytes 50000000
 

@@ -21,10 +21,10 @@ re-running only the remainder.
 """
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ..compiler import CompileCache, compile_program, default_cache
-from ..errors import CellFailure, VerificationError
+from ..errors import CellFailure, ConfigError, VerificationError
 from ..machine import baseline
 from ..programs import get_benchmark
 from ..sim import run_program
@@ -40,13 +40,18 @@ class RunSpec:
     Picklable, so a batch of specs can fan out across processes.
     ``config=None`` means the baseline machine; ``tag`` overrides the
     run-cache key (rarely needed now that the key covers the full run
-    signature, but kept for explicit grouping).
+    signature, but kept for explicit grouping).  ``seed`` overrides
+    the harness input seed for this cell only (None = harness seed) —
+    the *lane axis* of the batch backend: specs that differ solely in
+    ``seed`` share one compiled program and one machine timing, so
+    ``run_many(backend="batch")`` simulates them in numpy lockstep.
     """
 
     benchmark: str
     mode: str
     config: object = None
     tag: object = None
+    seed: object = None
 
 
 @dataclass
@@ -66,6 +71,14 @@ class RunResult:
     compile_seconds: float = 0.0    # compilation wall clock (0 on hit)
     cache_hit: bool = False         # compile served from a cache?
     replayed: bool = False          # rebuilt from a sweep journal?
+    #: Which execution path produced this cell: "scalar" (a plain
+    #: Harness.run), "batch" (one lane of a lockstep bundle, wall
+    #: clock = bundle wall / lanes), or "batch-peeled" (diverged out
+    #: of a bundle and re-run on the scalar kernel — wall clock is
+    #: the re-run's own).
+    backend: str = "scalar"
+    lanes: int = 1                  # bundle width this cell rode in
+    peeled_lanes: int = 0           # lanes peeled from that bundle
 
     #: Discriminates RunResult from CellFailure in a collected sweep.
     ok = True
@@ -80,8 +93,13 @@ class RunResult:
 
     @property
     def cycles_per_second(self):
-        """Simulated cycles per wall-clock second (perf trajectory)."""
-        if self.wall_seconds <= 0.0:
+        """Simulated cycles per wall-clock second (perf trajectory).
+
+        0.0 whenever the wall clock is zero, negative, or too small to
+        be a real measurement — notably journal-replayed cells whose
+        record predates wall-clock capture — so ``--resume`` aggregates
+        can never divide by zero or report inf."""
+        if self.wall_seconds <= 1e-9:
             return 0.0
         return self.cycles / self.wall_seconds
 
@@ -114,12 +132,19 @@ class Harness:
         self._compiled = {}
         self._runs = {}
         self._inputs = {}
+        # Sweep dedupe accounting (see run_many): specs served from
+        # the run cache vs. specs collapsed onto an identical cell
+        # already in this batch (simulated once, fanned out).
+        self.deduped_cached = 0
+        self.deduped_in_flight = 0
 
-    def inputs_for(self, benchmark):
-        if benchmark not in self._inputs:
-            self._inputs[benchmark] = \
-                get_benchmark(benchmark).make_inputs(self.seed)
-        return self._inputs[benchmark]
+    def inputs_for(self, benchmark, seed=None):
+        eff_seed = self.seed if seed is None else seed
+        key = (benchmark, eff_seed)
+        if key not in self._inputs:
+            self._inputs[key] = \
+                get_benchmark(benchmark).make_inputs(eff_seed)
+        return self._inputs[key]
 
     def compile(self, benchmark, mode, config):
         return self._compile_tracked(benchmark, mode, config)[0]
@@ -142,19 +167,22 @@ class Harness:
         self._compiled[key] = compiled
         return compiled, hit
 
-    def _run_key(self, benchmark, mode, config, tag):
+    def _run_key(self, benchmark, mode, config, tag, seed=None):
         """The run-cache key.  Everything a simulation's outcome
         depends on participates: the full config run signature (which
         covers the fault plan, seed, op cache, arbitration, ...) plus
-        the harness-level input seed and cycle budget."""
+        the input seed (the spec override, defaulting to the harness
+        seed — so seedless keys are unchanged from older journals) and
+        cycle budget."""
         if tag is not None:
             return (benchmark, mode, tag)
-        return (benchmark, mode, config.run_signature(), self.seed,
+        eff_seed = self.seed if seed is None else seed
+        return (benchmark, mode, config.run_signature(), eff_seed,
                 self.max_cycles)
 
-    def run(self, benchmark, mode, config=None, tag=None):
+    def run(self, benchmark, mode, config=None, tag=None, seed=None):
         config = config or baseline()
-        key = self._run_key(benchmark, mode, config, tag)
+        key = self._run_key(benchmark, mode, config, tag, seed)
         if key in self._runs:
             return self._runs[key]
         bench = get_benchmark(benchmark)
@@ -162,7 +190,7 @@ class Harness:
         compiled, cache_hit = self._compile_tracked(benchmark, mode,
                                                     config)
         compile_seconds = time.perf_counter() - started
-        inputs = self.inputs_for(benchmark)
+        inputs = self.inputs_for(benchmark, seed)
         started = time.perf_counter()
         sim = run_program(compiled.program, config, overrides=inputs,
                           max_cycles=self.max_cycles,
@@ -177,7 +205,7 @@ class Harness:
                     benchmark, mode, config.name, problems,
                     signature=run_key_digest(
                         config.run_signature())[:12],
-                    seed=self.seed)
+                    seed=self.seed if seed is None else seed)
         result = RunResult(benchmark, mode, config, sim.cycles,
                            sim.stats.utilization_table(), sim.stats,
                            compiled, sim, verified,
@@ -191,18 +219,30 @@ class Harness:
 
     def run_many(self, specs, workers=None, on_error="raise",
                  cell_timeout=None, retries=2, journal=None,
-                 policy=None):
+                 policy=None, backend=None):
         """Run a batch of specs, optionally across worker processes,
         under supervision.
 
         ``specs`` is an iterable of :class:`RunSpec` or
-        ``(benchmark, mode[, config[, tag]])`` tuples.  ``workers``
-        <= 1 (or None) runs serially in-process; otherwise a process
-        pool of that size is used and each worker's compile and run
-        results are merged back into this harness's caches, so
+        ``(benchmark, mode[, config[, tag[, seed]]])`` tuples.
+        ``workers`` <= 1 (or None) runs serially in-process; otherwise
+        a process pool of that size is used and each worker's compile
+        and run results are merged back into this harness's caches, so
         subsequent :meth:`run` calls hit.  Falls back to serial
         execution when process pools are unavailable.  Results come
         back in spec order and are bit-identical to a serial run.
+
+        ``backend="batch"`` additionally groups untagged specs that
+        share one compiled program and one machine timing — same
+        (benchmark, mode, ``config.run_signature()``), differing only
+        in input ``seed`` — into lockstep *lane bundles* executed by
+        :mod:`repro.sim.batch`; groups of one fall back to the normal
+        path, and a bundle rides the pool (and the journal, and the
+        per-cell timeout — which then covers the whole bundle) as a
+        single cell whose per-lane results are fanned back out.  Lanes
+        that diverge are peeled and re-run on the scalar kernel, so
+        every result is still bit-identical to a serial run.
+        ``backend=None`` or ``"pool"`` is the plain per-cell path.
 
         Failure policy (see :mod:`repro.experiments.supervision`):
         ``on_error="raise"`` aborts on the first failed cell after
@@ -219,21 +259,38 @@ class Harness:
         are recorded as they finish, and cells already recorded there
         (from an interrupted earlier invocation) are *replayed* —
         rebuilt as :class:`RunResult` with ``replayed=True`` — instead
-        of re-simulated.
+        of re-simulated.  Bundles journal per lane, so a resumed sweep
+        replays individual lanes no matter which backend recorded
+        them.
         """
+        if backend not in (None, "pool", "batch"):
+            raise ConfigError("backend must be 'pool' or 'batch', "
+                              "got %r" % (backend,))
+        if backend == "batch":
+            from ..sim.batch import batch_supported
+            if not batch_supported():
+                raise ConfigError(
+                    "backend='batch' requires numpy, which is "
+                    "unavailable; use backend='pool'")
+            if self.sanitize:
+                raise ConfigError(
+                    "backend='batch' cannot run under --sanitize "
+                    "(the sanitizer shadows the scalar kernels); "
+                    "use backend='pool'")
         specs = [self._coerce_spec(spec) for spec in specs]
         policy = policy or SupervisorPolicy(on_error=on_error,
                                             cell_timeout=cell_timeout,
                                             max_retries=retries)
         keyed = [(self._run_key(s.benchmark, s.mode,
-                                s.config or baseline(), s.tag), s)
+                                s.config or baseline(), s.tag, s.seed),
+                  s)
                  for s in specs]
         journal = self._open_journal(journal)
         if journal is not None:
             self._replay_from_journal(journal, keyed)
         failures = {}
 
-        def on_complete(cell, outcome):
+        def on_lane_complete(cell, outcome):
             if outcome.ok:
                 self._absorb(cell.key, outcome)
                 if journal is not None:
@@ -245,26 +302,42 @@ class Harness:
                     journal.record_failed(run_key_digest(cell.key),
                                           outcome)
 
-        # Dedupe against the cache and within the batch.
+        def on_complete(cell, outcome):
+            if isinstance(cell.spec, _BatchBundle):
+                self._fan_out_bundle(cell.spec, outcome,
+                                     on_lane_complete)
+            else:
+                on_lane_complete(cell, outcome)
+
+        # Dedupe against the cache and within the batch: each distinct
+        # run key simulates at most once; every duplicate requester is
+        # served the same RunResult from the fan-out loop below.
         todo = {}
         for key, spec in keyed:
-            if key not in self._runs and key not in todo:
+            if key in self._runs:
+                self.deduped_cached += 1
+            elif key in todo:
+                self.deduped_in_flight += 1
+            else:
                 todo[key] = spec
+        if backend == "batch":
+            work = self._plan_bundles(todo, policy.on_error)
+        else:
+            work = todo
         try:
-            if todo:
+            if work:
                 pooled = (workers is not None and workers > 1
-                          and len(todo) > 1)
+                          and len(work) > 1)
                 if pooled:
                     supervisor = Supervisor(
                         policy, workers, _run_spec_in_worker,
                         self._worker_payload(),
-                        lambda spec: self.run(spec.benchmark, spec.mode,
-                                              spec.config, spec.tag),
+                        self._serial_cell,
                         on_complete=on_complete)
-                    pooled = supervisor.run(list(todo.items())) \
+                    pooled = supervisor.run(list(work.items())) \
                         is not None
                 if not pooled:
-                    self._run_serial(todo, policy, on_complete)
+                    self._run_serial(work, policy, on_complete)
         finally:
             if journal is not None:
                 journal.close()
@@ -274,6 +347,15 @@ class Harness:
                        else failures[key])
         return out
 
+    def _serial_cell(self, spec):
+        """Run one schedulable unit — a plain spec or a lane bundle —
+        in this process (the supervisor's serial fallback and the
+        no-pool path)."""
+        if isinstance(spec, _BatchBundle):
+            return self._run_bundle(spec)
+        return self.run(spec.benchmark, spec.mode, spec.config,
+                        spec.tag, spec.seed)
+
     def _run_serial(self, todo, policy, on_complete):
         """In-process sweep execution under the same failure policy
         (timeouts cannot be enforced without a pool and are ignored
@@ -281,8 +363,7 @@ class Harness:
         for key, spec in todo.items():
             cell = SweepCell(key, spec)
             try:
-                result = self.run(spec.benchmark, spec.mode,
-                                  spec.config, spec.tag)
+                result = self._serial_cell(spec)
             except Exception as exc:
                 failure = CellFailure.from_exception(
                     spec.benchmark, spec.mode, exc,
@@ -292,6 +373,121 @@ class Harness:
                     raise
             else:
                 on_complete(cell, result)
+
+    # -- batch-lane bundles ----------------------------------------------
+
+    def _plan_bundles(self, todo, on_error):
+        """Group the outstanding cells into lane bundles: untagged
+        specs sharing (benchmark, mode, run signature) — i.e. one
+        compiled program *and* one machine timing, differing only in
+        input seed — become one :class:`_BatchBundle` keyed by the
+        tuple of its lane keys; everything else (tagged specs,
+        singleton groups) keeps its plain per-cell entry."""
+        groups = {}
+        work = {}
+        for key, spec in todo.items():
+            if spec.tag is not None:
+                work[key] = spec
+                continue
+            config = spec.config or baseline()
+            gkey = (spec.benchmark, spec.mode, config.run_signature())
+            groups.setdefault(gkey, []).append((key, spec))
+        for members in groups.values():
+            if len(members) < 2:
+                key, spec = members[0]
+                work[key] = spec
+                continue
+            lane_keys = tuple(key for key, __ in members)
+            work[lane_keys] = _BatchBundle(
+                members[0][1].benchmark, members[0][1].mode,
+                lane_keys, [spec for __, spec in members], on_error)
+        return work
+
+    def _run_bundle(self, bundle):
+        """Execute one lane bundle: compile once, simulate every lane
+        in lockstep, re-run peeled lanes on the scalar kernel.
+        Returns per-lane outcomes (RunResult / CellFailure) in
+        ``bundle.lane_specs`` order; under ``on_error="raise"`` the
+        first lane failure raises instead."""
+        from ..sim.batch import run_batch
+        config = bundle.lane_specs[0].config or baseline()
+        bench = get_benchmark(bundle.benchmark)
+        started = time.perf_counter()
+        compiled, cache_hit = self._compile_tracked(
+            bundle.benchmark, bundle.mode, config)
+        compile_share = (time.perf_counter() - started) \
+            / len(bundle.lane_specs)
+        lane_inputs = [self.inputs_for(bundle.benchmark, spec.seed)
+                       for spec in bundle.lane_specs]
+        started = time.perf_counter()
+        outcome = run_batch(compiled.program, config, lane_inputs,
+                            max_cycles=self.max_cycles,
+                            fast_forward=self.fast_forward)
+        # Lockstep lanes split the bundle's wall clock evenly: the
+        # shared simulation did each lane's work simultaneously, and
+        # an even split keeps wall-clock *sums* (aggregate
+        # throughput) honest.  Peeled lanes are charged their own
+        # scalar re-run instead.
+        wall_share = (time.perf_counter() - started) / outcome.lanes
+        peeled = len(outcome.peeled)
+        results = []
+        for lane, spec in enumerate(bundle.lane_specs):
+            sim = outcome.results[lane]
+            try:
+                if sim is None:
+                    rerun = self.run(spec.benchmark, spec.mode,
+                                     spec.config, spec.tag, spec.seed)
+                    result = replace(rerun, backend="batch-peeled",
+                                     lanes=outcome.lanes,
+                                     peeled_lanes=peeled)
+                else:
+                    verified = True
+                    if self.check:
+                        problems = bench.check(sim, lane_inputs[lane])
+                        if problems:
+                            raise VerificationError(
+                                spec.benchmark, spec.mode, config.name,
+                                problems,
+                                signature=run_key_digest(
+                                    config.run_signature())[:12],
+                                seed=self.seed if spec.seed is None
+                                else spec.seed)
+                    result = RunResult(
+                        spec.benchmark, spec.mode, config, sim.cycles,
+                        sim.stats.utilization_table(), sim.stats,
+                        compiled, sim, verified,
+                        wall_seconds=wall_share,
+                        compile_seconds=compile_share,
+                        cache_hit=cache_hit, backend="batch",
+                        lanes=outcome.lanes, peeled_lanes=peeled)
+            except Exception as exc:
+                if bundle.on_error == "raise":
+                    raise
+                result = CellFailure.from_exception(
+                    spec.benchmark, spec.mode, exc,
+                    key_digest=run_key_digest(bundle.lane_keys[lane]))
+            results.append(result)
+        return results
+
+    def _fan_out_bundle(self, bundle, outcome, on_lane_complete):
+        """Distribute a finished bundle's outcome to its lanes.  A
+        list is per-lane outcomes from :meth:`_run_bundle`; anything
+        else is a whole-bundle :class:`CellFailure` (worker crash,
+        bundle timeout) copied to every lane with its own key
+        digest."""
+        if isinstance(outcome, list):
+            for key, spec, lane_outcome in zip(
+                    bundle.lane_keys, bundle.lane_specs, outcome):
+                on_lane_complete(SweepCell(key, spec), lane_outcome)
+            return
+        for key, spec in zip(bundle.lane_keys, bundle.lane_specs):
+            lane_failure = CellFailure(
+                spec.benchmark, spec.mode, outcome.error_type,
+                outcome.message, attempts=outcome.attempts,
+                timed_out=outcome.timed_out,
+                key_digest=run_key_digest(key),
+                reproducer=outcome.reproducer)
+            on_lane_complete(SweepCell(key, spec), lane_failure)
 
     # -- journal replay --------------------------------------------------
 
@@ -334,7 +530,10 @@ class Harness:
                 wall_seconds=record.get("wall_seconds", 0.0),
                 compile_seconds=record.get("compile_seconds", 0.0),
                 cache_hit=record.get("cache_hit", False),
-                replayed=True)
+                replayed=True,
+                backend=record.get("backend", "scalar"),
+                lanes=record.get("lanes", 1),
+                peeled_lanes=record.get("peeled_lanes", 0))
             self._absorb(key, result)
 
     @staticmethod
@@ -374,12 +573,40 @@ def _journal_record(result):
             "verified": result.verified,
             "wall_seconds": result.wall_seconds,
             "compile_seconds": result.compile_seconds,
-            "cache_hit": result.cache_hit}
+            "cache_hit": result.cache_hit,
+            "backend": result.backend,
+            "lanes": result.lanes,
+            "peeled_lanes": result.peeled_lanes}
+
+
+class _BatchBundle:
+    """One schedulable lane bundle: ≥2 untagged specs sharing a
+    compiled program and run signature, simulated in lockstep by
+    :func:`repro.sim.batch.run_batch`.  Rides the supervisor (and the
+    process pool) as a single cell — ``benchmark``/``mode`` are the
+    shared ones, satisfying the supervisor's failure-reporting
+    surface — keyed by the tuple of its lane run keys."""
+
+    __slots__ = ("benchmark", "mode", "lane_keys", "lane_specs",
+                 "on_error")
+
+    def __init__(self, benchmark, mode, lane_keys, lane_specs,
+                 on_error):
+        self.benchmark = benchmark
+        self.mode = mode
+        self.lane_keys = lane_keys
+        self.lane_specs = lane_specs
+        self.on_error = on_error
+
+    def __repr__(self):
+        return "_BatchBundle(%s/%s x%d)" % (self.benchmark, self.mode,
+                                            len(self.lane_specs))
 
 
 def _run_spec_in_worker(payload, spec):
-    """Process-pool entry point: rebuild a harness and run one spec.
-    The chaos hook fires only here — never in the parent — so the
+    """Process-pool entry point: rebuild a harness and run one spec
+    (or one lane bundle, which returns a per-lane outcome list).  The
+    chaos hook fires only here — never in the parent — so the
     serial-fallback path completes cells whose workers always die."""
     chaos_if_requested(spec.benchmark, spec.mode)
     seed, check, max_cycles, fast_forward, cache_root, sanitize = payload
@@ -387,4 +614,7 @@ def _run_spec_in_worker(payload, spec):
     harness = Harness(seed=seed, check=check, max_cycles=max_cycles,
                       fast_forward=fast_forward, compile_cache=cache,
                       sanitize=sanitize)
-    return harness.run(spec.benchmark, spec.mode, spec.config, spec.tag)
+    if isinstance(spec, _BatchBundle):
+        return harness._run_bundle(spec)
+    return harness.run(spec.benchmark, spec.mode, spec.config, spec.tag,
+                       spec.seed)

@@ -1,6 +1,8 @@
 """Functional cycle simulator for processor-coupled nodes."""
 
 from .arbitration import PriorityArbiter, RoundRobinArbiter, make_arbiter
+from .batch import (BatchNode, BatchOutcome, LaneVec, batch_supported,
+                    merge_overrides, run_batch)
 from .event import EventNode
 from .faults import FaultEvent, FaultInjector, FaultPlan
 from .function_unit import FunctionUnitState, WritebackEntry
@@ -19,6 +21,8 @@ from .thread import ThreadContext
 
 __all__ = [
     "PriorityArbiter", "RoundRobinArbiter", "make_arbiter",
+    "BatchNode", "BatchOutcome", "LaneVec", "batch_supported",
+    "merge_overrides", "run_batch",
     "EventNode", "FaultEvent", "FaultInjector", "FaultPlan",
     "FunctionUnitState", "WritebackEntry", "WritebackNetwork",
     "load_memory", "validate_program", "MemRequest", "MemorySystem",

@@ -107,9 +107,10 @@ class TestJournalResumeAfterKill:
         executed = []
         original = Harness.run
 
-        def counting_run(self, benchmark, mode, config=None, tag=None):
+        def counting_run(self, benchmark, mode, config=None, tag=None,
+                         seed=None):
             executed.append((benchmark, mode))
-            return original(self, benchmark, mode, config, tag)
+            return original(self, benchmark, mode, config, tag, seed)
 
         resumed_harness = _harness()
         resumed_harness.run = counting_run.__get__(resumed_harness)

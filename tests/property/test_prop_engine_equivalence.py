@@ -1,12 +1,17 @@
 """Engine equivalence: the event-driven kernel — with superblock
-fusion on and off — must be *bit-identical* to the scan kernel on every
-architecturally visible quantity: cycle counts, the full statistics
-record, final memory contents, and presence bits.  Checked three ways
-(scan / event without fusion / event with fusion) across every
+fusion on and off — and the batch lane engine must be *bit-identical*
+to the scan kernel on every architecturally visible quantity: cycle
+counts, the full statistics record, final memory contents, and
+presence bits.  Checked four ways (scan / event without fusion / event
+with fusion / one lane of a lockstep batch bundle) across every
 benchmark x mode cell, under fault injection, over restricted
 interconnects, with the skip-ahead fast path on or off, and through
 snapshot/restore round-trips taken mid-run (including mid-superblock,
-which must force de-fusion at the pause boundary)."""
+which must force de-fusion at the pause boundary).  TestBatchPeel
+additionally pins the peel discipline: lanes that diverge mid-run —
+on branch direction, memory address, or a lane-local arithmetic trap,
+with or without a fault plan — peel off to the scalar kernel while
+every surviving lane stays bit-identical."""
 
 import pytest
 
@@ -16,6 +21,7 @@ from repro.machine import baseline
 from repro.programs import get_benchmark
 from repro.programs.suite import BENCHMARK_ORDER
 from repro.sim import EventNode, FaultPlan, Node, make_node, run_program
+from repro.sim.batch import run_batch
 
 
 def _cells():
@@ -34,6 +40,19 @@ ENGINES = (
 )
 
 
+def _batch_lane0(program, config, lane_inputs, fast_forward=True):
+    """Run ``lane_inputs`` as one lockstep bundle and return lane 0's
+    SimResult — re-run on the scalar kernel if lane 0 peeled (the same
+    merge-back the harness performs), so the four-way comparison
+    always has a batch-backend result to check."""
+    outcome = run_batch(program, config, lane_inputs,
+                        fast_forward=fast_forward)
+    if outcome.results[0] is not None:
+        return outcome.results[0]
+    return run_program(program, config, overrides=lane_inputs[0],
+                       fast_forward=fast_forward)
+
+
 def _run_all(benchmark, mode, mutate=None, fast_forward=True):
     bench = get_benchmark(benchmark)
     inputs = bench.make_inputs(1)
@@ -46,6 +65,13 @@ def _run_all(benchmark, mode, mutate=None, fast_forward=True):
         results[name] = run_program(compiled.program, select(config),
                                     overrides=inputs,
                                     fast_forward=fast_forward)
+    # Fourth way: the same cell as lane 0 of a two-lane batch bundle
+    # (lane 1 carries different input data, so the value plane really
+    # is vectorized and any cross-lane contamination would surface).
+    results["batch"] = _batch_lane0(
+        compiled.program,
+        config.with_engine("event").with_fusion(False),
+        [inputs, bench.make_inputs(2)], fast_forward=fast_forward)
     return results
 
 
@@ -67,14 +93,15 @@ def _assert_identical(reference, other, label="event"):
     assert other.memory._empty == reference.memory._empty
 
 
-def _assert_three_way(results):
+def _assert_four_way(results):
     _assert_identical(results["scan"], results["event"], "event")
     _assert_identical(results["scan"], results["fused"], "fused")
+    _assert_identical(results["scan"], results["batch"], "batch")
 
 
 @pytest.mark.parametrize("bench_name,mode", list(_cells()))
 def test_every_benchmark_mode_is_identical(bench_name, mode):
-    _assert_three_way(_run_all(bench_name, mode))
+    _assert_four_way(_run_all(bench_name, mode))
 
 
 @pytest.mark.parametrize("bench_name,mode", [("matrix", "coupled"),
@@ -83,7 +110,7 @@ def test_identical_under_fault_injection(bench_name, mode):
     def faulty(config):
         return config.with_faults(FaultPlan.random(7, config, rate=3.0,
                                                    horizon=4000))
-    _assert_three_way(_run_all(bench_name, mode, mutate=faulty))
+    _assert_four_way(_run_all(bench_name, mode, mutate=faulty))
 
 
 def test_identical_under_fault_injection_single_threaded():
@@ -92,7 +119,7 @@ def test_identical_under_fault_injection_single_threaded():
     def faulty(config):
         return config.with_faults(FaultPlan.random(11, config, rate=2.0,
                                                    horizon=8000))
-    _assert_three_way(_run_all("matrix", "seq", mutate=faulty))
+    _assert_four_way(_run_all("matrix", "seq", mutate=faulty))
 
 
 @pytest.mark.parametrize("scheme", ["shared-bus", "single-port"])
@@ -100,20 +127,20 @@ def test_identical_under_restricted_interconnect(scheme):
     # Exercises the event kernel's arbitrated (non-direct) writeback
     # path, where entries can wait cycles for a port; fusion must stay
     # dormant (its guards require the fully connected network).
-    _assert_three_way(_run_all(
+    _assert_four_way(_run_all(
         "matrix", "coupled", mutate=lambda c: c.with_interconnect(scheme)))
 
 
 def test_identical_without_fast_forward():
-    _assert_three_way(_run_all("matrix", "coupled", fast_forward=False))
+    _assert_four_way(_run_all("matrix", "coupled", fast_forward=False))
 
 
 def test_identical_without_fast_forward_single_threaded():
-    _assert_three_way(_run_all("lud", "seq", fast_forward=False))
+    _assert_four_way(_run_all("lud", "seq", fast_forward=False))
 
 
 def test_identical_under_round_robin_arbitration():
-    _assert_three_way(_run_all(
+    _assert_four_way(_run_all(
         "fft", "coupled",
         mutate=lambda c: c.with_arbitration("round-robin")))
 
@@ -121,13 +148,13 @@ def test_identical_under_round_robin_arbitration():
 def test_identical_under_round_robin_single_threaded():
     # Fused dispatch must leave the round-robin rotation pointer
     # exactly where the interpreted path would.
-    _assert_three_way(_run_all(
+    _assert_four_way(_run_all(
         "lud", "seq", mutate=lambda c: c.with_arbitration("round-robin")))
 
 
 def test_identical_with_operation_cache():
     from repro.sim.opcache import OpCacheSpec
-    _assert_three_way(_run_all(
+    _assert_four_way(_run_all(
         "lud", "seq",
         mutate=lambda c: c.with_op_cache(OpCacheSpec(capacity=8,
                                                      fill_penalty=4))))
@@ -157,7 +184,7 @@ class TestInterleavedFusion:
         """Cells with several runnable threads must dispatch compiled
         interleavings (not just single-thread blocks) and still match
         the scan kernel bit for bit."""
-        _assert_three_way(_run_all(bench_name, mode))
+        _assert_four_way(_run_all(bench_name, mode))
         node = self._fused_node(bench_name, mode)
         assert node.stats.fused_dispatches > 0
         # The interleaved table itself must have fired: at least one
@@ -171,13 +198,13 @@ class TestInterleavedFusion:
         node = self._fused_node("lud", "coupled")
         assert node._mt_hits > 0
         assert node.stats.fused_dispatches > 0
-        _assert_three_way(_run_all("lud", "coupled"))
+        _assert_four_way(_run_all("lud", "coupled"))
 
     def test_round_robin_interleaving_identical(self):
         """Round-robin rotation is baked into the compiled schedule;
         the resume point must land exactly where the interpreted scan
         would leave it."""
-        _assert_three_way(_run_all(
+        _assert_four_way(_run_all(
             "lud", "tpe",
             mutate=lambda c: c.with_arbitration("round-robin")))
         node = self._fused_node(
@@ -358,3 +385,157 @@ class TestSnapshotRestore:
         restored = Node.restore(node.snapshot())
         restored._fusion = False      # de-fuse the restored copy only
         _assert_identical(full, restored.resume(), "restored-defused")
+
+
+class TestBatchPeel:
+    """The batch lane engine's peel discipline, pinned on purpose-built
+    programs whose lanes *are* divergent: a lane that disagrees with
+    the lockstep majority on a branch direction, a memory address, or
+    an arithmetic fault must peel off (recorded with its reason and
+    cycle), every surviving lane must stay bit-identical to its own
+    scalar run, and a peeled lane's scalar re-run must reproduce its
+    result — or its error — exactly.  A clean cell must peel nothing
+    (the dormancy check: a backend that silently full-peels would pass
+    every equivalence test while delivering zero speedup)."""
+
+    BRANCHY = """
+    (program
+      (const N 4)
+      (global A N)
+      (global B N)
+      (main
+        (for (i 0 N)
+          (let ((x (aref A i)))
+            (if (> x 0.0)
+                (aset! B i (* x 2.0))
+                (aset! B i (- 0.0 x)))))))
+    """
+
+    DIVIDES = """
+    (program
+      (const N 4)
+      (global A N)
+      (global B N)
+      (main
+        (for (i 0 N)
+          (aset! B i (/ 1.0 (aref A i))))))
+    """
+
+    INDIRECT = """
+    (program
+      (const N 4)
+      (global IDX N :int)
+      (global A N)
+      (global B N)
+      (main
+        (for (i 0 N)
+          (aset! B i (aref A (aref IDX i))))))
+    """
+
+    def _config(self):
+        return baseline().with_engine("event").with_fusion(False)
+
+    def _compiled(self, source, config):
+        return compile_program(source, config, mode="seq").program
+
+    def _scalar(self, program, config, inputs):
+        return run_program(program, config, overrides=inputs)
+
+    def _check_lanes(self, program, config, lane_inputs):
+        """Run the bundle and compare every surviving lane against its
+        own scalar run; returns the BatchOutcome for peel asserts."""
+        outcome = run_batch(program, config, lane_inputs)
+        for lane in outcome.lockstep_lanes:
+            _assert_identical(self._scalar(program, config,
+                                           lane_inputs[lane]),
+                              outcome.results[lane],
+                              "batch-lane%d" % lane)
+        return outcome
+
+    def test_minority_branch_divergence_peels(self):
+        config = self._config()
+        program = self._compiled(self.BRANCHY, config)
+        pos = [1.0, 2.0, 3.0, 4.0]
+        lanes = [list(pos) for __ in range(4)]
+        lanes[2][1] = -5.0            # lane 2 takes the other side
+        lane_inputs = [{"A": a} for a in lanes]
+        outcome = self._check_lanes(program, config, lane_inputs)
+        assert sorted(outcome.peeled) == [2]
+        reason, cycle = outcome.peeled[2]
+        assert reason == "branch" and cycle > 0
+        assert outcome.lockstep_lanes == [0, 1, 3]
+        # Merge-back: the peeled lane's scalar re-run is its own run.
+        _assert_identical(self._scalar(program, config, lane_inputs[2]),
+                          self._scalar(program, config, lane_inputs[2]),
+                          "peeled-rerun")
+
+    def test_two_lane_tie_keeps_lane_zero(self):
+        config = self._config()
+        program = self._compiled(self.BRANCHY, config)
+        lane_inputs = [{"A": [1.0, 2.0, 3.0, 4.0]},
+                       {"A": [1.0, -2.0, 3.0, 4.0]}]
+        outcome = self._check_lanes(program, config, lane_inputs)
+        # A 1-vs-1 vote is a tie; the side containing the lowest live
+        # lane wins, so lane 0 must never peel on a two-lane vote.
+        assert outcome.lockstep_lanes == [0]
+        assert outcome.peeled[1][0] == "branch"
+
+    def test_lane_local_arithmetic_trap_peels_and_reproduces(self):
+        from repro.errors import SimulationError
+        config = self._config()
+        program = self._compiled(self.DIVIDES, config)
+        lane_inputs = [{"A": [1.0, 2.0, 4.0, 5.0]},
+                       {"A": [1.0, 0.0, 4.0, 5.0]},   # traps at i=1
+                       {"A": [2.0, 2.0, 4.0, 5.0]}]
+        outcome = self._check_lanes(program, config, lane_inputs)
+        assert sorted(outcome.peeled) == [1]
+        assert outcome.peeled[1][0] == "fdiv-by-zero"
+        assert outcome.lockstep_lanes == [0, 2]
+        # The scalar re-run reproduces the trap as the scalar kernel's
+        # own error, exactly as a serial Harness.run would fail.
+        with pytest.raises(SimulationError):
+            self._scalar(program, config, lane_inputs[1])
+
+    def test_address_divergence_peels(self):
+        config = self._config()
+        program = self._compiled(self.INDIRECT, config)
+        base = {"IDX": [0, 1, 2, 3], "A": [10.0, 20.0, 30.0, 40.0]}
+        diverged = {"IDX": [0, 3, 2, 1], "A": [10.0, 20.0, 30.0, 40.0]}
+        lane_inputs = [dict(base), dict(base), dict(diverged)]
+        outcome = self._check_lanes(program, config, lane_inputs)
+        assert sorted(outcome.peeled) == [2]
+        assert outcome.peeled[2][0] == "mem-address"
+        assert outcome.lockstep_lanes == [0, 1]
+
+    def test_divergence_under_fault_plan(self):
+        """The acceptance case: lanes that peel mid-run while a fault
+        plan perturbs the shared machine timing.  Survivors must still
+        be bit-identical to scalar runs under the same plan."""
+        config = self._config()
+        config = config.with_faults(FaultPlan.random(7, config, rate=2.0,
+                                                     horizon=2000))
+        program = self._compiled(self.BRANCHY, config)
+        pos = [1.0, 2.0, 3.0, 4.0]
+        lanes = [list(pos) for __ in range(4)]
+        lanes[1][2] = -7.0
+        lane_inputs = [{"A": a} for a in lanes]
+        outcome = self._check_lanes(program, config, lane_inputs)
+        assert sorted(outcome.peeled) == [1]
+        assert outcome.peeled[1][0] == "branch"
+        assert outcome.lockstep_lanes == [0, 2, 3]
+
+    def test_clean_cell_peels_nothing(self):
+        """Dormancy check on a real benchmark cell: divergence-free
+        lanes must all finish in lockstep, with the lane counters on
+        the stats record and zero peels."""
+        bench = get_benchmark("matrix")
+        config = self._config()
+        program = compile_program(bench.source("coupled"), config,
+                                  mode="coupled").program
+        lane_inputs = [bench.make_inputs(seed) for seed in (1, 2, 3, 4)]
+        outcome = self._check_lanes(program, config, lane_inputs)
+        assert not outcome.peeled
+        assert outcome.lockstep_lanes == [0, 1, 2, 3]
+        stats = outcome.results[0].stats
+        assert stats.batch_lanes == 4
+        assert stats.batch_peeled_lanes == 0

@@ -41,6 +41,20 @@ class TestAggregate:
                     "error_type": "WorkerCrashError", "message": "died"}]
         assert aggregate_cycles_per_sec(records) == 2000.0
 
+    def test_zero_wall_cells_excluded_from_both_sums(self):
+        # Journal-replayed cells recorded before wall capture existed
+        # come back with wall_s 0.0; counting their cycles against no
+        # wall would inflate the aggregate, so they drop out entirely.
+        records = [_cell("a", "seq", 1000, 2.0),
+                   {"benchmark": "b", "mode": "seq", "cycles": 10 ** 9,
+                    "wall_s": 0.0, "cycles_per_sec": 0.0}]
+        assert aggregate_cycles_per_sec(records) == 500.0
+
+    def test_all_zero_wall_is_zero(self):
+        records = [{"benchmark": "a", "mode": "seq", "cycles": 100,
+                    "wall_s": 0.0, "cycles_per_sec": 0.0}]
+        assert aggregate_cycles_per_sec(records) == 0.0
+
 
 class TestCompareReports:
     def setup_method(self):
@@ -122,6 +136,30 @@ class TestCompareReports:
         problems = compare_reports(current, self.reference)
         assert all("KeyError" not in p for p in problems)
 
+    def test_seeded_cells_compare_per_seed(self):
+        # Schema-5 batch reports carry one record per (benchmark,
+        # mode, seed); the gate must key on all three, not collapse
+        # seeds into one cell.
+        ref_cells = [dict(_cell("matrix", "seq", 100, 0.01), seed=1),
+                     dict(_cell("matrix", "seq", 120, 0.01), seed=2)]
+        reference = _report(ref_cells)
+        assert compare_reports(_report([dict(c) for c in ref_cells]),
+                               reference) == []
+        drifted = [dict(ref_cells[0]),
+                   dict(ref_cells[1], cycles=121)]
+        problems = compare_reports(_report(drifted), reference)
+        assert len(problems) == 1
+        assert "120 to 121" in problems[0]
+
+    def test_seedless_reference_matches_seedless_current(self):
+        # A seeded current report shares no cells with a seedless
+        # (schema-4) reference: the seed axis is part of identity.
+        seeded = _report([dict(_cell("matrix", "seq", 100, 0.01),
+                               seed=1)])
+        problems = compare_reports(seeded, self.reference)
+        assert problems == ["no shared (benchmark, mode) cells to "
+                            "compare"]
+
     def test_failed_cells_absent_from_delta_table(self):
         current = _report([_cell("matrix", "seq", 100, 0.01),
                            {"benchmark": "matrix", "mode": "coupled",
@@ -168,6 +206,21 @@ class TestSuiteSpecs:
         specs = suite_specs(quick=True, config=config)
         assert all(s.config is config for s in specs)
 
+    def test_default_specs_are_seedless(self):
+        # The classic suite leaves spec.seed None (harness default),
+        # keeping run keys and report cell identity unchanged.
+        assert all(s.seed is None for s in suite_specs(quick=True))
+
+    def test_seeds_expand_every_cell(self):
+        base = suite_specs(quick=True)
+        specs = suite_specs(quick=True, seeds=[1, 2, 3])
+        assert len(specs) == 3 * len(base)
+        cells = {(s.benchmark, s.mode) for s in base}
+        for cell in cells:
+            seeds = [s.seed for s in specs
+                     if (s.benchmark, s.mode) == cell]
+            assert seeds == [1, 2, 3]
+
 
 class TestBenchCommand:
     def _run(self, tmp_path, *extra):
@@ -182,17 +235,28 @@ class TestBenchCommand:
     def test_report_schema_and_gate(self, tmp_path):
         code, text, report = self._run(tmp_path)
         assert code == 0
-        assert report["schema"] == 4
+        assert report["schema"] == 5
         assert report["engine"] == "event"
         assert report["fusion"] is True
         assert report["sanitize"] == "off"
         assert report["on_error"] == "raise"
         assert report["cell_timeout"] is None
+        assert report["backend"] == "pool"
+        assert report["lanes"] == 1
         assert report["failed"] == []
         assert report["aggregate_cycles_per_sec"] > 0
         for cell in report["results"]:
             assert cell["cycles"] > 0
             assert cell["cache_hit"] is False    # cache disabled
+            # Schema 5: backend provenance per cell, outside "stats"
+            # (digests stay engine-agnostic); default-seed cells must
+            # not grow a seed key — cell identity for --compare
+            # against older references depends on it.
+            assert cell["backend"] == "scalar"
+            assert cell["lanes"] == 1
+            assert cell["peeled_lanes"] == 0
+            assert "seed" not in cell
+            assert "backend" not in cell["stats"]
             # Per-cell dispatch count rides outside "stats" (which
             # stays digest-identical across kernels); the CI fusion
             # leg gates on it being nonzero where fusion must fire.
@@ -270,6 +334,75 @@ class TestBenchCommand:
             [r["quarantined_blocks"] for r in report["results"]]
         # Journal unchanged: replayed cells are not re-recorded.
         assert len(journal.read_text().splitlines()) == len(lines)
+
+    def test_batch_backend_report(self, tmp_path):
+        code, text, report = self._run(tmp_path, "--backend", "batch",
+                                       "--lanes", "2")
+        assert code == 0
+        assert report["schema"] == 5
+        assert report["backend"] == "batch"
+        assert report["lanes"] == 2
+        cells = report["results"]
+        # Every cell expands into one record per seed, identity
+        # carried in the record.
+        assert len(cells) == 2 * len({(c["benchmark"], c["mode"])
+                                      for c in cells})
+        for cell in cells:
+            assert cell["seed"] in (1, 2)
+            assert cell["backend"] in ("batch", "batch-peeled",
+                                       "scalar")
+            assert cell["peeled_lanes"] < max(cell["lanes"], 1)
+        # The lockstep engine must actually carry lanes (dormancy
+        # guard: a backend that peeled everything would report every
+        # cell as batch-peeled).
+        assert any(cell["backend"] == "batch" for cell in cells)
+        # Render marks the seed axis and peeled lanes.
+        assert "backend=batch" in text
+        assert "@1" in text
+
+    def test_batch_gate_against_own_reference(self, tmp_path):
+        code, __, report = self._run(tmp_path, "--backend", "batch",
+                                     "--lanes", "2")
+        assert code == 0
+        import io
+        out = io.StringIO()
+        path2 = tmp_path / "bench2.json"
+        code = main(["--quick", "-o", str(path2), "--no-compile-cache",
+                     "--backend", "batch", "--lanes", "2",
+                     "--regression-threshold", "0.95",
+                     "--compare", str(tmp_path / "bench.json")],
+                    out=out)
+        assert code == 0
+        assert "passed" in out.getvalue()
+
+    def test_batch_sanitize_conflict_rejected(self, tmp_path):
+        import pytest
+        with pytest.raises(SystemExit):
+            main(["--quick", "--backend", "batch", "--sanitize",
+                  "-o", str(tmp_path / "x.json")])
+
+    def test_batch_resume_replays_lane_cells(self, tmp_path):
+        journal = tmp_path / "sweep.journal.jsonl"
+        code, __, report = self._run(tmp_path, "--backend", "batch",
+                                     "--lanes", "2",
+                                     "--resume", str(journal))
+        assert code == 0
+        lines = journal.read_text().splitlines()
+        import io
+        out = io.StringIO()
+        path2 = tmp_path / "bench2.json"
+        code = main(["--quick", "-o", str(path2), "--no-compile-cache",
+                     "--backend", "batch", "--lanes", "2",
+                     "--resume", str(journal)], out=out)
+        assert code == 0
+        report2 = json.load(open(path2))
+        key = lambda r: (r["benchmark"], r["mode"], r["seed"])
+        assert [(key(r), r["cycles"], r["lanes"], r["peeled_lanes"])
+                for r in report2["results"]] == \
+            [(key(r), r["cycles"], r["lanes"], r["peeled_lanes"])
+             for r in report["results"]]
+        # Nothing re-simulated, nothing re-recorded.
+        assert journal.read_text().splitlines() == lines
 
     def test_compare_warns_on_engine_mismatch(self, tmp_path):
         code, __, report = self._run(tmp_path, "--engine", "scan")

@@ -194,10 +194,11 @@ class TestSerialCollect:
         harness = Harness(compile_cache=False)
         original = Harness.run
 
-        def run(self, benchmark, mode, config=None, tag=None):
+        def run(self, benchmark, mode, config=None, tag=None,
+                seed=None):
             if (benchmark, mode) in fail_on:
                 raise WatchdogError("injected hang", cycle=1)
-            return original(self, benchmark, mode, config, tag)
+            return original(self, benchmark, mode, config, tag, seed)
 
         harness.run = run.__get__(harness)
         return harness
@@ -286,9 +287,10 @@ class TestJournalResume:
         executed = []
         original = Harness.run
 
-        def counting_run(self, benchmark, mode, config=None, tag=None):
+        def counting_run(self, benchmark, mode, config=None, tag=None,
+                         seed=None):
             executed.append((benchmark, mode))
-            return original(self, benchmark, mode, config, tag)
+            return original(self, benchmark, mode, config, tag, seed)
 
         resumed_harness = Harness(compile_cache=False)
         resumed_harness.run = counting_run.__get__(resumed_harness)
